@@ -1,0 +1,55 @@
+//! # mproxy-am — Active Messages and collectives over RMA/RQ
+//!
+//! Section 5.1 of the paper: "We implement an Active Message (AM) layer on
+//! top of RMA and RQ. It uses RQ primitives to enqueue active-message
+//! requests (`am_request`) and replies (`am_reply`), and both RQ and RMA
+//! primitives to implement active-message bulk store (`am_store`) and bulk
+//! get (`am_get`) operations. ... We also provide a collective
+//! communication library based on RMA and RQ that implements barriers,
+//! scans, and reductions."
+//!
+//! This crate is exactly that stack: [`Am`] is the per-process active
+//! message endpoint, [`Coll`] the collective library used by the
+//! application suite.
+//!
+//! # Examples
+//!
+//! A two-process echo: rank 1 registers a handler that replies; rank 0
+//! requests and polls for the reply.
+//!
+//! ```
+//! use mproxy::{Cluster, ClusterSpec, ProcId};
+//! use mproxy_am::Am;
+//! use mproxy_des::Simulation;
+//! use mproxy_model::MP1;
+//!
+//! let sim = Simulation::new();
+//! let cluster = Cluster::new(&sim.ctx(), ClusterSpec::new(MP1, 2, 1)).unwrap();
+//! cluster.spawn_spmd(|p| async move {
+//!     let am = Am::new(&p);
+//!     let echo = am.register(|am, msg| {
+//!         Box::pin(async move {
+//!             am.reply(msg.src, msg.reply_to.unwrap(), &msg.args).await;
+//!         })
+//!     });
+//!     let ok = am.register(|_, _| Box::pin(async {}));
+//!     p.ctx().yield_now().await;
+//!     if p.rank() == ProcId(0) {
+//!         am.request_with_reply(ProcId(1), echo, ok, b"hi").await;
+//!         am.poll_until_messages(1).await;
+//!     } else {
+//!         am.poll_until_messages(1).await;
+//!     }
+//! });
+//! assert!(cluster.run(&sim).completed_cleanly());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod am;
+mod collectives;
+pub mod micro;
+
+pub use am::{Am, AmMsg, HandlerId};
+pub use collectives::Coll;

@@ -1,0 +1,160 @@
+//! Active-message micro-benchmarks: the "AM latency" row of Table 4 and
+//! the AM-store ping-pong curves of Figure 7.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mproxy::{Cluster, ClusterSpec, ProcId};
+use mproxy_des::Simulation;
+use mproxy_model::DesignPoint;
+
+use crate::am::Am;
+
+/// One point of the Figure 7 AM-store curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmStorePoint {
+    /// Payload size, bytes.
+    pub bytes: u32,
+    /// One-way latency, µs.
+    pub latency_us: f64,
+    /// Achieved bandwidth, MB/s.
+    pub bandwidth_mbs: f64,
+}
+
+fn two_node_cluster(design: DesignPoint) -> (Simulation, Cluster) {
+    let sim = Simulation::new();
+    let cluster =
+        Cluster::new(&sim.ctx(), ClusterSpec::new(design, 2, 1)).expect("valid micro spec");
+    (sim, cluster)
+}
+
+/// Measures the `am_request`/`am_reply` round trip (Table 4 "AM latency"):
+/// submit a request to a remote node and receive the reply, with both
+/// sides polling.
+#[must_use]
+pub fn am_roundtrip_us(design: DesignPoint, reps: u64) -> f64 {
+    let (sim, cluster) = two_node_cluster(design);
+    let out = Rc::new(RefCell::new(0.0));
+    let probe = Rc::clone(&out);
+    cluster.spawn_spmd(move |p| {
+        let probe = Rc::clone(&probe);
+        async move {
+            let am = Am::new(&p);
+            let echo = am.register(|am, msg| {
+                Box::pin(async move {
+                    am.reply(msg.src, msg.reply_to.expect("reply handler"), &msg.args)
+                        .await;
+                })
+            });
+            let done = am.register(|_, _| Box::pin(async {}));
+            p.ctx().yield_now().await;
+            if p.rank() == ProcId(0) {
+                let args = [0u8; 16]; // two doubles, like Sample's exchanges
+                let t0 = p.now();
+                for i in 0..reps {
+                    am.request_with_reply(ProcId(1), echo, done, &args).await;
+                    am.poll_until_messages(i + 1).await;
+                }
+                *probe.borrow_mut() = p.now().since(t0).as_us() / reps as f64;
+            } else {
+                am.poll_until_messages(reps).await;
+            }
+        }
+    });
+    let report = cluster.run(&sim);
+    assert!(report.completed_cleanly(), "am benchmark deadlocked");
+    let v = *out.borrow();
+    v
+}
+
+/// Measures the Figure 7 AM-store ping-pong at each size: rank 0 bulk-
+/// stores `bytes` and a completion handler to rank 1, which stores back.
+#[must_use]
+pub fn pingpong_am_store(design: DesignPoint, sizes: &[u32], reps: u64) -> Vec<AmStorePoint> {
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let rt = am_store_roundtrip_us(design, bytes, reps);
+            let latency_us = rt / 2.0;
+            AmStorePoint {
+                bytes,
+                latency_us,
+                bandwidth_mbs: f64::from(bytes) / latency_us,
+            }
+        })
+        .collect()
+}
+
+fn am_store_roundtrip_us(design: DesignPoint, bytes: u32, reps: u64) -> f64 {
+    let (sim, cluster) = two_node_cluster(design);
+    let out = Rc::new(RefCell::new(0.0));
+    let probe = Rc::clone(&out);
+    cluster.spawn_spmd(move |p| {
+        let probe = Rc::clone(&probe);
+        async move {
+            let am = Am::new(&p);
+            let landed = am.register(|_, _| Box::pin(async {}));
+            let buf = p.alloc(u64::from(bytes).max(64));
+            p.ctx().yield_now().await;
+            let me = p.rank().0;
+            let peer = ProcId(1 - me);
+            if me == 0 {
+                let t0 = p.now();
+                for i in 0..reps {
+                    am.store(peer, buf, buf, bytes, landed, &[]).await;
+                    am.poll_until_messages(i + 1).await;
+                }
+                *probe.borrow_mut() = p.now().since(t0).as_us() / reps as f64;
+            } else {
+                for i in 0..reps {
+                    am.poll_until_messages(i + 1).await;
+                    am.store(peer, buf, buf, bytes, landed, &[]).await;
+                }
+            }
+        }
+    });
+    let report = cluster.run(&sim);
+    assert!(report.completed_cleanly(), "am store benchmark deadlocked");
+    let v = *out.borrow();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mproxy_model::{paper_table4, ALL_DESIGN_POINTS, HW1, MP0};
+
+    #[test]
+    fn am_latency_tracks_paper_table4() {
+        for d in ALL_DESIGN_POINTS {
+            let rt = am_roundtrip_us(d, 16);
+            let target = paper_table4(d.name).unwrap().am_rt_us;
+            let err = (rt - target).abs() / target;
+            assert!(
+                err < 0.30,
+                "{}: AM rt sim {:.1} vs paper {:.1} ({:+.0}%)",
+                d.name,
+                rt,
+                target,
+                100.0 * (rt - target) / target
+            );
+        }
+    }
+
+    #[test]
+    fn am_latency_exceeds_put_latency() {
+        // "Its latency is higher than PUT/GET because it involves handler
+        // invocation on processors at both ends."
+        let am = am_roundtrip_us(MP0, 8);
+        let put = mproxy::micro::run_micro(MP0).put_rt_us;
+        assert!(am > put, "am {am} vs put {put}");
+    }
+
+    #[test]
+    fn am_store_bandwidth_grows_with_size() {
+        let pts = pingpong_am_store(HW1, &[64, 1024, 16384], 4);
+        assert!(pts
+            .windows(2)
+            .all(|w| w[0].bandwidth_mbs < w[1].bandwidth_mbs));
+    }
+}

@@ -1,0 +1,24 @@
+//! Developer utility: quick Figure 8 shape check (16-processor speedups
+//! for five representative apps across all design points).
+//!
+//! Run: `cargo run --release -p mproxy-apps --example fig8_preview`
+
+use mproxy_apps::{run_app_flat, AppId, AppSize};
+use mproxy_model::{ALL_DESIGN_POINTS, HW1};
+fn main() {
+    for app in [
+        AppId::Sample,
+        AppId::Wator,
+        AppId::Moldy,
+        AppId::PRay,
+        AppId::Fft,
+    ] {
+        let t1 = run_app_flat(app, HW1, 1, AppSize::Small).elapsed_us;
+        print!("{:<10}", app.name());
+        for d in ALL_DESIGN_POINTS {
+            let t16 = run_app_flat(app, d, 16, AppSize::Small).elapsed_us;
+            print!("  {}={:>5.2}", d.name, t1 / t16);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,15 @@
+//! Developer utility: wall-clock and simulated-time cost of each app at
+//! the harness (Small) size on 16 processors, with Table 6-style traffic.
+//!
+//! Run: `cargo run --release -p mproxy-apps --example timing`
+
+use mproxy_apps::{run_app_flat, AppId, AppSize};
+fn main() {
+    for app in AppId::ALL {
+        let t = std::time::Instant::now();
+        let r = run_app_flat(app, mproxy_model::MP1, 16, AppSize::Small);
+        println!("{:<10} wall {:>6.2}s  sim {:>10.0}us  ops {:>7}  avg {:>6.0}B rate {:>6.2}/ms util {:>5.1}%",
+            app.name(), t.elapsed().as_secs_f64(), r.elapsed_us, r.traffic.total_ops,
+            r.traffic.avg_msg_bytes, r.traffic.msg_rate_per_ms, r.traffic.interface_utilization*100.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Barnes-Hut: hierarchical n-body simulation (CRL, adapted from
+//! SPLASH-2).
+//!
+//! The communication structure of a Barnes-Hut step is: read *detailed*
+//! data for nearby bodies, read *summarised* data (tree cells) for distant
+//! groups, then update your own bodies. We reproduce that shape with a
+//! one-level hierarchy over **16 fixed spatial groups** (so the physics is
+//! independent of the processor count): a body interacts in detail with
+//! bodies of adjacent groups and through centre-of-mass summaries with the
+//! rest. Group summaries and per-rank body arrays are CRL regions, cached
+//! coherently and re-fetched after every step's writes — the coherence
+//! traffic pattern (and the MP2 cache-update win) of the original. See
+//! DESIGN.md for the substitution note.
+
+use mproxy::ProcId;
+use mproxy_crl::RegionId;
+
+use crate::common::{fold_checksum, partition, AppSize, Lcg, World};
+
+/// Compute-per-communication calibration: matches the per-processor
+/// message rates of Table 6 at the Small problem size (see DESIGN.md on
+/// the deterministic compute model).
+const WORK_SCALE: u64 = 5;
+
+/// Fixed spatial groups — the "tree cells" of the one-level hierarchy.
+/// Processor counts must divide this (1, 2, 4, 8, 16 all do).
+const GROUPS: usize = 16;
+
+struct Config {
+    bodies: usize,
+    iters: usize,
+}
+
+fn config(size: AppSize) -> Config {
+    match size {
+        AppSize::Tiny => Config {
+            bodies: 64,
+            iters: 2,
+        },
+        AppSize::Small => Config {
+            bodies: 256,
+            iters: 3,
+        },
+        AppSize::Full => Config {
+            bodies: 1024,
+            iters: 4,
+        },
+    }
+}
+
+const BODY_F64S: usize = 4; // x, y, z, mass
+const SUMMARY_F64S: usize = 4; // cx, cy, cz, total mass
+
+/// Groups `g` and `h` interact in detail if adjacent on the ring.
+fn near(g: usize, h: usize) -> bool {
+    let d = (h + GROUPS - g) % GROUPS;
+    d <= 1 || d == GROUPS - 1
+}
+
+/// Group index of global body `i`.
+fn group_of(i: usize, bodies: usize) -> usize {
+    (0..GROUPS)
+        .find(|&h| {
+            let (hs, hc) = partition(bodies, GROUPS, h);
+            i >= hs && i < hs + hc
+        })
+        .expect("every body has a group")
+}
+
+/// Runs Barnes-Hut; returns this rank's checksum contribution.
+pub async fn run(w: &World, size: AppSize) -> f64 {
+    let cfg = config(size);
+    let n = w.n();
+    let me = w.me();
+    assert_eq!(GROUPS % n, 0, "processor count must divide {GROUPS} groups");
+    let gpr = GROUPS / n; // groups per rank
+    let group_span = |g: usize| partition(cfg.bodies, GROUPS, g);
+    let rank_span = |r: usize| {
+        let start = group_span(r * gpr).0;
+        let count: usize = (r * gpr..(r + 1) * gpr).map(|g| group_span(g).1).sum();
+        (start, count)
+    };
+    let (start, my_count) = rank_span(me);
+    let max_count = (0..n).map(|r| rank_span(r).1).max().expect("n > 0");
+    let bodies_bytes = (max_count * BODY_F64S * 8) as u32;
+
+    // Region 0 of each rank: its bodies; regions 1..=gpr: its group
+    // summaries.
+    let rid_bodies = w.crl.create(bodies_bytes);
+    debug_assert_eq!(rid_bodies.idx, 0);
+    for _ in 0..gpr {
+        let _ = w.crl.create((SUMMARY_F64S * 8) as u32);
+    }
+    let bodies: Vec<_> = (0..n)
+        .map(|r| {
+            w.crl.map(
+                RegionId {
+                    home: ProcId(r as u32),
+                    idx: 0,
+                },
+                bodies_bytes,
+            )
+        })
+        .collect();
+    let summaries: Vec<_> = (0..GROUPS)
+        .map(|g| {
+            w.crl.map(
+                RegionId {
+                    home: ProcId((g / gpr) as u32),
+                    idx: (g % gpr) as u32 + 1,
+                },
+                (SUMMARY_F64S * 8) as u32,
+            )
+        })
+        .collect();
+
+    // Initial bodies (same global stream on every rank, sliced).
+    let mut mine: Vec<f64> = {
+        let mut rng = Lcg::new(17);
+        let mut all = Vec::with_capacity(cfg.bodies * BODY_F64S);
+        for _ in 0..cfg.bodies {
+            all.push(rng.next_f64() * 32.0);
+            all.push(rng.next_f64() * 32.0);
+            all.push(rng.next_f64() * 32.0);
+            all.push(0.5 + rng.next_f64());
+        }
+        all[start * BODY_F64S..(start + my_count) * BODY_F64S].to_vec()
+    };
+    let mut forces = vec![0.0f64; my_count * 3];
+
+    for it in 0..cfg.iters + 1 {
+        // --- write phase: publish updated bodies and group summaries ----
+        w.crl.start_write(&bodies[me]).await;
+        for (i, f) in forces.chunks_exact(3).enumerate() {
+            for d in 0..3 {
+                mine[i * BODY_F64S + d] += 0.0005 * f[d] / mine[i * BODY_F64S + 3];
+            }
+        }
+        w.p.write_f64_slice(bodies[me].addr(), &mine);
+        w.crl.end_write(&bodies[me]).await;
+        for g in me * gpr..(me + 1) * gpr {
+            let (gs, gc) = group_span(g);
+            let local0 = (gs - start) * BODY_F64S;
+            let (mut cx, mut cy, mut cz, mut m) = (0.0, 0.0, 0.0, 1e-12);
+            for b in mine[local0..local0 + gc * BODY_F64S].chunks_exact(BODY_F64S) {
+                cx += b[0] * b[3];
+                cy += b[1] * b[3];
+                cz += b[2] * b[3];
+                m += b[3];
+            }
+            w.crl.start_write(&summaries[g]).await;
+            w.p.write_f64_slice(summaries[g].addr(), &[cx / m, cy / m, cz / m, m]);
+            w.crl.end_write(&summaries[g]).await;
+        }
+        w.work(my_count as u64 * 8 * WORK_SCALE).await;
+        w.coll.barrier().await;
+        if it == cfg.iters {
+            break; // final positions published; no more force phase
+        }
+
+        // --- force phase: near groups in detail, far groups summarised --
+        forces.iter_mut().for_each(|f| *f = 0.0);
+        let mut interactions = 0u64;
+        // Fetch what we need once per step: body arrays of owners of any
+        // near group, summaries of everything (coherent cached reads).
+        let mut rank_bodies: Vec<Option<Vec<f64>>> = vec![None; n];
+        for h in 0..GROUPS {
+            let owner = h / gpr;
+            let detailed = (me * gpr..(me + 1) * gpr).any(|g| near(g, h));
+            if detailed {
+                if rank_bodies[owner].is_none() {
+                    let data = if owner == me {
+                        mine.clone()
+                    } else {
+                        let rc = rank_span(owner).1;
+                        w.crl.start_read(&bodies[owner]).await;
+                        let v = w.p.read_f64_slice(bodies[owner].addr(), rc * BODY_F64S);
+                        w.crl.end_read(&bodies[owner]).await;
+                        v
+                    };
+                    rank_bodies[owner] = Some(data);
+                }
+            } else {
+                w.crl.start_read(&summaries[h]).await;
+                w.crl.end_read(&summaries[h]).await;
+            }
+        }
+        // Snapshot the summary values (reads above validated the copies).
+        let mut summ = vec![0.0f64; GROUPS * SUMMARY_F64S];
+        for h in 0..GROUPS {
+            let v = w.p.read_f64_slice(summaries[h].addr(), SUMMARY_F64S);
+            summ[h * SUMMARY_F64S..(h + 1) * SUMMARY_F64S].copy_from_slice(&v);
+        }
+        for i in 0..my_count {
+            let g = group_of(start + i, cfg.bodies);
+            let (xi, yi, zi) = (
+                mine[i * BODY_F64S],
+                mine[i * BODY_F64S + 1],
+                mine[i * BODY_F64S + 2],
+            );
+            for h in 0..GROUPS {
+                if near(g, h) {
+                    let (hs, hc) = group_span(h);
+                    let owner = h / gpr;
+                    let data = rank_bodies[owner]
+                        .as_ref()
+                        .expect("near groups were fetched");
+                    let owner_start = rank_span(owner).0;
+                    for j in hs..hs + hc {
+                        if start + i == j {
+                            continue;
+                        }
+                        let b = (j - owner_start) * BODY_F64S;
+                        let (dx, dy, dz) = (data[b] - xi, data[b + 1] - yi, data[b + 2] - zi);
+                        let d2 = dx * dx + dy * dy + dz * dz + 0.1;
+                        let f = data[b + 3] / (d2 * d2.sqrt());
+                        forces[i * 3] += dx * f;
+                        forces[i * 3 + 1] += dy * f;
+                        forces[i * 3 + 2] += dz * f;
+                        interactions += 1;
+                    }
+                } else {
+                    let s = &summ[h * SUMMARY_F64S..(h + 1) * SUMMARY_F64S];
+                    let (dx, dy, dz) = (s[0] - xi, s[1] - yi, s[2] - zi);
+                    let d2 = dx * dx + dy * dy + dz * dz + 0.1;
+                    let f = s[3] / (d2 * d2.sqrt());
+                    forces[i * 3] += dx * f;
+                    forces[i * 3 + 1] += dy * f;
+                    forces[i * 3 + 2] += dz * f;
+                    interactions += 1;
+                }
+            }
+        }
+        w.work(interactions * 11 * WORK_SCALE).await;
+        w.coll.barrier().await;
+    }
+
+    let mut sum = 0.0;
+    for b in mine.chunks_exact(BODY_F64S) {
+        sum = fold_checksum(sum, b[0] + b[1] + b[2]);
+    }
+    sum
+}

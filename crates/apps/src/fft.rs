@@ -1,0 +1,270 @@
+//! FFT: 1-D Fast Fourier Transform "with bulk transfers to exchange data"
+//! (Split-C).
+//!
+//! The classic four-step algorithm on an `R×C` view of the `n = R·C`
+//! points: transpose (bulk all-to-all), column FFTs, twiddle, transpose
+//! back, row FFTs. The two transposes are the bandwidth-bound all-to-all
+//! exchanges that make FFT sensitive to peak bandwidth in Figure 8.
+//!
+//! The butterflies are real: the test suite checks the output against a
+//! direct DFT.
+
+use mproxy::{Addr, ProcId};
+use mproxy_splitc::GlobalPtr;
+
+use crate::common::{fold_checksum, AppSize, World};
+
+/// Compute-per-communication calibration: matches the per-processor
+/// message rates of Table 6 at the Small problem size (see DESIGN.md on
+/// the deterministic compute model).
+const WORK_SCALE: u64 = 4;
+
+fn side(size: AppSize) -> usize {
+    match size {
+        AppSize::Tiny => 8,    // n = 64
+        AppSize::Small => 128, // n = 16384
+        AppSize::Full => 256,  // n = 65536
+    }
+}
+
+/// In-place iterative radix-2 FFT over interleaved (re, im) pairs.
+pub(crate) fn fft_inplace(buf: &mut [f64]) {
+    let n = buf.len() / 2;
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            buf.swap(2 * i, 2 * j);
+            buf.swap(2 * i + 1, 2 * j + 1);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for j in 0..len / 2 {
+                let a = 2 * (i + j);
+                let b = 2 * (i + j + len / 2);
+                let (xr, xi) = (buf[a], buf[a + 1]);
+                let (yr, yi) = (buf[b] * cr - buf[b + 1] * ci, buf[b] * ci + buf[b + 1] * cr);
+                buf[a] = xr + yr;
+                buf[a + 1] = xi + yi;
+                buf[b] = xr - yr;
+                buf[b + 1] = xi - yi;
+                let t = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = t;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Deterministic input signal.
+pub(crate) fn input_sample(j: usize, n: usize) -> (f64, f64) {
+    let t = j as f64 / n as f64;
+    (
+        (2.0 * std::f64::consts::PI * 3.0 * t).sin()
+            + 0.5 * (2.0 * std::f64::consts::PI * 7.0 * t).cos(),
+        0.25 * (2.0 * std::f64::consts::PI * 5.0 * t).sin(),
+    )
+}
+
+/// Transposes the locally owned `lr × side` stripe (rows starting at
+/// `row0` of matrix `a`) into every peer's staging area, then rebuilds the
+/// transposed stripe from the staging slots.
+async fn transpose(w: &World, a: Addr, stage: Addr, lr: usize, side_len: usize, slot_bytes: u64) {
+    let n = w.n();
+    let me = w.me();
+    let send = w.p.alloc(slot_bytes); // packing buffer per destination
+    for d in 0..n {
+        let dc0 = d * lr; // destination's first row in the transposed view
+                          // Pack block: for each of the destination's rows c (columns here),
+                          // our rows r: element a[r][c].
+        let mut block = Vec::with_capacity(lr * lr * 2);
+        for c in dc0..dc0 + lr {
+            for r in 0..lr {
+                let off = ((r * side_len + c) * 2) as u64;
+                block.push(w.p.read_f64(a.index(off, 8)));
+                block.push(w.p.read_f64(a.index(off + 1, 8)));
+            }
+        }
+        w.work(((lr * lr) as u64 * 3) * WORK_SCALE).await;
+        if d == me {
+            w.p.write_f64_slice(stage.index(me as u64 * slot_bytes, 1), &block);
+        } else {
+            w.p.write_f64_slice(send, &block);
+            w.sc.bulk_put(
+                send,
+                GlobalPtr {
+                    proc: ProcId(d as u32),
+                    addr: stage.index(me as u64 * slot_bytes, 1),
+                },
+                (block.len() * 8) as u32,
+            )
+            .await;
+        }
+    }
+    w.coll.barrier().await;
+    // Unpack: source s's slot holds, for each of our transposed rows c,
+    // the elements from s's original rows.
+    for s in 0..n {
+        let sr0 = s * lr; // source's original rows = our new columns
+        let slot = stage.index(s as u64 * slot_bytes, 1);
+        for (ci, _c) in (0..lr).enumerate() {
+            for (ri, r) in (sr0..sr0 + lr).enumerate() {
+                let v_off = ((ci * lr + ri) * 2) as u64;
+                let dst_off = ((ci * side_len + r) * 2) as u64;
+                let re = w.p.read_f64(slot.index(v_off, 8));
+                let im = w.p.read_f64(slot.index(v_off + 1, 8));
+                w.p.write_f64(a.index(dst_off, 8), re);
+                w.p.write_f64(a.index(dst_off + 1, 8), im);
+            }
+        }
+    }
+    w.work(((lr * side_len) as u64 * 3) * WORK_SCALE).await;
+    w.coll.barrier().await;
+}
+
+/// Runs FFT; returns this rank's checksum contribution. The output ends up
+/// distributed in transposed read-out order (standard four-step layout).
+pub async fn run(w: &World, size: AppSize) -> f64 {
+    run_inner(w, side(size), None).await
+}
+
+/// Sink used by the integration test to capture each rank's raw output.
+pub(crate) type OutputSink = std::rc::Rc<std::cell::RefCell<Vec<(usize, Vec<f64>)>>>;
+
+/// Shared with the integration test, which passes a sink for the raw
+/// local output.
+pub(crate) async fn run_inner(w: &World, r_side: usize, sink: Option<OutputSink>) -> f64 {
+    let n_procs = w.n();
+    let side_len = r_side;
+    assert_eq!(
+        side_len % n_procs,
+        0,
+        "side {side_len} must be divisible by {n_procs} ranks"
+    );
+    let lr = side_len / n_procs; // local rows
+    let total = side_len * side_len;
+    let row0 = w.me() * lr;
+
+    // Local stripe: lr rows × side columns of complex, interleaved.
+    let a = w.p.alloc((lr * side_len * 16) as u64);
+    let slot_bytes = (lr * lr * 16) as u64;
+    let stage = w.p.alloc(slot_bytes * n_procs as u64);
+    for r in 0..lr {
+        for c in 0..side_len {
+            let j = (row0 + r) * side_len + c; // row-major global index
+            let (re, im) = input_sample(j, total);
+            let off = ((r * side_len + c) * 2) as u64;
+            w.p.write_f64(a.index(off, 8), re);
+            w.p.write_f64(a.index(off + 1, 8), im);
+        }
+    }
+    w.coll.barrier().await;
+
+    // Step 1: transpose so columns become local rows.
+    transpose(w, a, stage, lr, side_len, slot_bytes).await;
+    // Step 2: FFT each (former column), now a local row of length side.
+    let butterflies = (side_len / 2 * side_len.trailing_zeros() as usize) as u64;
+    for r in 0..lr {
+        let mut row =
+            w.p.read_f64_slice(a.index((r * side_len * 2) as u64, 8), side_len * 2);
+        fft_inplace(&mut row);
+        w.p.write_f64_slice(a.index((r * side_len * 2) as u64, 8), &row);
+        w.work((butterflies * 10) * WORK_SCALE).await;
+    }
+    // Step 3: twiddle factors w_n^{r·c}; our local row r is global column
+    // (row0 + r) of the original matrix.
+    for r in 0..lr {
+        let gr = row0 + r;
+        for c in 0..side_len {
+            let ang = -2.0 * std::f64::consts::PI * (gr * c) as f64 / total as f64;
+            let (tw_r, tw_i) = (ang.cos(), ang.sin());
+            let off = ((r * side_len + c) * 2) as u64;
+            let (re, im) = (
+                w.p.read_f64(a.index(off, 8)),
+                w.p.read_f64(a.index(off + 1, 8)),
+            );
+            w.p.write_f64(a.index(off, 8), re * tw_r - im * tw_i);
+            w.p.write_f64(a.index(off + 1, 8), re * tw_i + im * tw_r);
+        }
+    }
+    w.work(((lr * side_len) as u64 * 6) * WORK_SCALE).await;
+    w.coll.barrier().await;
+    // Step 4: transpose back to original row distribution.
+    transpose(w, a, stage, lr, side_len, slot_bytes).await;
+    // Step 5: FFT each original row.
+    for r in 0..lr {
+        let mut row =
+            w.p.read_f64_slice(a.index((r * side_len * 2) as u64, 8), side_len * 2);
+        fft_inplace(&mut row);
+        w.p.write_f64_slice(a.index((r * side_len * 2) as u64, 8), &row);
+        w.work((butterflies * 10) * WORK_SCALE).await;
+    }
+    w.coll.barrier().await;
+
+    // Local element (r, c) now holds X[c·R + (row0 + r)].
+    let mut sum = 0.0;
+    let local = w.p.read_f64_slice(a, lr * side_len * 2);
+    for pair in local.chunks_exact(2) {
+        sum = fold_checksum(sum, (pair[0] * pair[0] + pair[1] * pair[1]).sqrt());
+    }
+    if let Some(sink) = sink {
+        sink.borrow_mut().push((row0, local));
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn direct_dft(input: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = (0.0, 0.0);
+                for (j, &(re, im)) in input.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                    let (c, s) = (ang.cos(), ang.sin());
+                    acc.0 += re * c - im * s;
+                    acc.1 += re * s + im * c;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_kernel_matches_direct_dft() {
+        let n = 32;
+        let input: Vec<(f64, f64)> = (0..n).map(|j| input_sample(j, n)).collect();
+        let mut buf: Vec<f64> = input.iter().flat_map(|&(r, i)| [r, i]).collect();
+        fft_inplace(&mut buf);
+        let expect = direct_dft(&input);
+        for (k, e) in expect.iter().enumerate() {
+            assert!(
+                (buf[2 * k] - e.0).abs() < 1e-9 && (buf[2 * k + 1] - e.1).abs() < 1e-9,
+                "bin {k}: got ({}, {}), want {:?}",
+                buf[2 * k],
+                buf[2 * k + 1],
+                e
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = vec![0.0; 6];
+        fft_inplace(&mut buf);
+    }
+}

@@ -1,0 +1,263 @@
+//! LU: blocked LU factorization of a dense matrix (CRL).
+//!
+//! The matrix is a `g×g` grid of `b×b` blocks, each a CRL region homed at
+//! its (cyclically assigned) owner — the paper's configuration makes each
+//! block 800 bytes (10×10 doubles). "A significant fraction of the message
+//! traffic is coherence protocol traffic with small message sizes." The
+//! factorization is right-looking without pivoting on a diagonally
+//! dominant matrix; kernels are real and the result is validated against
+//! a sequential oracle in the tests.
+
+use mproxy::ProcId;
+use mproxy_crl::{Region, RegionId};
+
+use crate::common::{fold_checksum, AppSize, World};
+
+/// Compute-per-communication calibration: matches the per-processor
+/// message rates of Table 6 at the Small problem size (see DESIGN.md on
+/// the deterministic compute model).
+const WORK_SCALE: u64 = 8;
+
+struct Config {
+    n: usize,
+    b: usize,
+}
+
+fn config(size: AppSize) -> Config {
+    match size {
+        AppSize::Tiny => Config { n: 32, b: 8 },
+        AppSize::Small => Config { n: 96, b: 8 },
+        AppSize::Full => Config { n: 200, b: 10 },
+    }
+}
+
+/// Deterministic, diagonally dominant matrix entry.
+pub(crate) fn matrix_entry(i: usize, j: usize, n: usize) -> f64 {
+    let base = 1.0 / (1.0 + i.abs_diff(j) as f64);
+    if i == j {
+        base + 2.0 * n as f64
+    } else {
+        base
+    }
+}
+
+/// Sequential blocked-free LU (no pivoting) for validation; returns the
+/// in-place factors.
+#[cfg(test)]
+pub(crate) fn sequential_lu(n: usize) -> Vec<f64> {
+    let mut a: Vec<f64> = (0..n * n).map(|x| matrix_entry(x / n, x % n, n)).collect();
+    for k in 0..n {
+        for r in k + 1..n {
+            a[r * n + k] /= a[k * n + k];
+            let l = a[r * n + k];
+            for c in k + 1..n {
+                a[r * n + c] -= l * a[k * n + c];
+            }
+        }
+    }
+    a
+}
+
+fn owner(bi: usize, bj: usize, g: usize, nprocs: usize) -> usize {
+    (bi * g + bj) % nprocs
+}
+
+/// Per-home region index of block (bi, bj): how many earlier blocks (in
+/// scan order) share its owner.
+fn region_idx(bi: usize, bj: usize, g: usize, nprocs: usize) -> u32 {
+    let lin = bi * g + bj;
+    (lin / nprocs) as u32
+}
+
+/// Runs LU; returns this rank's checksum contribution (sum over the U
+/// diagonal of blocks this rank owns).
+pub async fn run(w: &World, size: AppSize) -> f64 {
+    let cfg = config(size);
+    run_inner(w, cfg.n, cfg.b).await
+}
+
+pub(crate) async fn run_inner(w: &World, n: usize, b: usize) -> f64 {
+    assert_eq!(n % b, 0, "block size must divide the matrix");
+    let g = n / b;
+    let nprocs = w.n();
+    let me = w.me();
+    let block_bytes = (b * b * 8) as u32;
+
+    // Create own blocks in scan order (fixes per-home indices), then map
+    // everything.
+    for bi in 0..g {
+        for bj in 0..g {
+            if owner(bi, bj, g, nprocs) == me {
+                let rid = w.crl.create(block_bytes);
+                debug_assert_eq!(rid.idx, region_idx(bi, bj, g, nprocs));
+            }
+        }
+    }
+    let blocks: Vec<Vec<Region>> = (0..g)
+        .map(|bi| {
+            (0..g)
+                .map(|bj| {
+                    w.crl.map(
+                        RegionId {
+                            home: ProcId(owner(bi, bj, g, nprocs) as u32),
+                            idx: region_idx(bi, bj, g, nprocs),
+                        },
+                        block_bytes,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // Owners initialise the master copies directly (no copies exist yet).
+    for bi in 0..g {
+        for bj in 0..g {
+            if owner(bi, bj, g, nprocs) != me {
+                continue;
+            }
+            let mut buf = Vec::with_capacity(b * b);
+            for r in 0..b {
+                for c in 0..b {
+                    buf.push(matrix_entry(bi * b + r, bj * b + c, n));
+                }
+            }
+            w.p.write_f64_slice(blocks[bi][bj].addr(), &buf);
+        }
+    }
+    w.coll.barrier().await;
+
+    let read_block = |rgn: &Region| w.p.read_f64_slice(rgn.addr(), b * b);
+
+    for k in 0..g {
+        // --- factor the diagonal block ---------------------------------
+        if owner(k, k, g, nprocs) == me {
+            let rgn = &blocks[k][k];
+            w.crl.start_write(rgn).await;
+            let mut a = read_block(rgn);
+            for kk in 0..b {
+                for r in kk + 1..b {
+                    a[r * b + kk] /= a[kk * b + kk];
+                    let l = a[r * b + kk];
+                    for c in kk + 1..b {
+                        a[r * b + c] -= l * a[kk * b + c];
+                    }
+                }
+            }
+            w.p.write_f64_slice(rgn.addr(), &a);
+            w.crl.end_write(rgn).await;
+            w.work(((b * b * b) as u64 * 2 / 3) * WORK_SCALE).await;
+        }
+        w.coll.barrier().await;
+
+        // --- panel updates ---------------------------------------------
+        // Column: A(i,k) <- A(i,k) · U(k,k)^-1 ; Row: A(k,j) <- L(k,k)^-1 · A(k,j).
+        let mut diag: Option<Vec<f64>> = None;
+        let mut need_diag = false;
+        for t in k + 1..g {
+            need_diag |= owner(t, k, g, nprocs) == me || owner(k, t, g, nprocs) == me;
+        }
+        if need_diag {
+            let rgn = &blocks[k][k];
+            w.crl.start_read(rgn).await;
+            diag = Some(read_block(rgn));
+            w.crl.end_read(rgn).await;
+        }
+        for i in k + 1..g {
+            if owner(i, k, g, nprocs) == me {
+                let d = diag.as_ref().expect("diag fetched");
+                let rgn = &blocks[i][k];
+                w.crl.start_write(rgn).await;
+                let mut a = read_block(rgn);
+                // Solve X · U = A (U upper triangular with diagonal).
+                for r in 0..b {
+                    for c in 0..b {
+                        let mut acc = a[r * b + c];
+                        for t in 0..c {
+                            acc -= a[r * b + t] * d[t * b + c];
+                        }
+                        a[r * b + c] = acc / d[c * b + c];
+                    }
+                }
+                w.p.write_f64_slice(rgn.addr(), &a);
+                w.crl.end_write(rgn).await;
+                w.work(((b * b * b) as u64) * WORK_SCALE).await;
+            }
+            if owner(k, i, g, nprocs) == me {
+                let d = diag.as_ref().expect("diag fetched");
+                let rgn = &blocks[k][i];
+                w.crl.start_write(rgn).await;
+                let mut a = read_block(rgn);
+                // Solve L · X = A (L unit lower triangular).
+                for c in 0..b {
+                    for r in 0..b {
+                        let mut acc = a[r * b + c];
+                        for t in 0..r {
+                            acc -= d[r * b + t] * a[t * b + c];
+                        }
+                        a[r * b + c] = acc;
+                    }
+                }
+                w.p.write_f64_slice(rgn.addr(), &a);
+                w.crl.end_write(rgn).await;
+                w.work(((b * b * b) as u64) * WORK_SCALE).await;
+            }
+        }
+        w.coll.barrier().await;
+
+        // --- trailing update --------------------------------------------
+        for i in k + 1..g {
+            // Fetch L(i,k) once per row we participate in.
+            let mut l_ik: Option<Vec<f64>> = None;
+            for j in k + 1..g {
+                if owner(i, j, g, nprocs) != me {
+                    continue;
+                }
+                if l_ik.is_none() {
+                    let rgn = &blocks[i][k];
+                    w.crl.start_read(rgn).await;
+                    l_ik = Some(read_block(rgn));
+                    w.crl.end_read(rgn).await;
+                }
+                let u_kj = {
+                    let rgn = &blocks[k][j];
+                    w.crl.start_read(rgn).await;
+                    let v = read_block(rgn);
+                    w.crl.end_read(rgn).await;
+                    v
+                };
+                let l = l_ik.as_ref().expect("fetched above");
+                let rgn = &blocks[i][j];
+                w.crl.start_write(rgn).await;
+                let mut a = read_block(rgn);
+                for r in 0..b {
+                    for t in 0..b {
+                        let lv = l[r * b + t];
+                        for c in 0..b {
+                            a[r * b + c] -= lv * u_kj[t * b + c];
+                        }
+                    }
+                }
+                w.p.write_f64_slice(rgn.addr(), &a);
+                w.crl.end_write(rgn).await;
+                w.work(((b * b * b) as u64 * 2) * WORK_SCALE).await;
+            }
+        }
+        w.coll.barrier().await;
+    }
+
+    // Checksum: U's diagonal from the blocks we own.
+    let mut sum = 0.0;
+    for bk in 0..g {
+        if owner(bk, bk, g, nprocs) == me {
+            let rgn = &blocks[bk][bk];
+            w.crl.start_read(rgn).await;
+            let a = read_block(rgn);
+            w.crl.end_read(rgn).await;
+            for r in 0..b {
+                sum = fold_checksum(sum, a[r * b + r]);
+            }
+        }
+    }
+    w.coll.barrier().await;
+    sum
+}

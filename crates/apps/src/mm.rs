@@ -1,0 +1,187 @@
+//! MM: blocked matrix multiplication (Split-C).
+//!
+//! `C = A·B` with the matrices split into a `g×g` grid of `b×b` blocks,
+//! distributed cyclically. Each owner of a `C` block fetches the needed
+//! `A` and `B` blocks with bulk gets and runs a real dgemm kernel —
+//! bandwidth-and-latency-bound, like the paper's version (MM "is affected
+//! by communication latency as well as bandwidth").
+
+use mproxy::{Addr, ProcId};
+use mproxy_splitc::GlobalPtr;
+
+use crate::common::{fold_checksum, AppSize, World};
+
+/// Compute-per-communication calibration: matches the per-processor
+/// message rates of Table 6 at the Small problem size (see DESIGN.md on
+/// the deterministic compute model).
+const WORK_SCALE: u64 = 3;
+
+struct Config {
+    n: usize,
+    block: usize,
+}
+
+fn config(size: AppSize) -> Config {
+    match size {
+        AppSize::Tiny => Config { n: 32, block: 8 },
+        AppSize::Small => Config { n: 96, block: 12 },
+        AppSize::Full => Config { n: 256, block: 32 },
+    }
+}
+
+/// Deterministic matrix entries.
+fn a_entry(i: usize, j: usize) -> f64 {
+    ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.4
+}
+fn b_entry(i: usize, j: usize) -> f64 {
+    ((i * 7 + j * 29) % 11) as f64 / 11.0 - 0.3
+}
+
+/// Reference multiply for validation at Tiny size.
+#[cfg(test)]
+pub(crate) fn reference(n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let a = a_entry(i, k);
+            for j in 0..n {
+                c[i * n + j] += a * b_entry(k, j);
+            }
+        }
+    }
+    c
+}
+
+struct Layout {
+    g: usize,
+    b: usize,
+    nprocs: usize,
+
+    a: Addr,
+    b_mat: Addr,
+    c: Addr,
+}
+
+impl Layout {
+    fn owner(&self, bi: usize, bj: usize) -> usize {
+        (bi * self.g + bj) % self.nprocs
+    }
+    fn slot(&self, bi: usize, bj: usize) -> u64 {
+        ((bi * self.g + bj) / self.nprocs) as u64
+    }
+    fn block_f64s(&self) -> u64 {
+        (self.b * self.b) as u64
+    }
+    fn addr_of(&self, base: Addr, bi: usize, bj: usize) -> Addr {
+        base.index(self.slot(bi, bj) * self.block_f64s(), 8)
+    }
+}
+
+/// Runs MM; returns this rank's checksum contribution.
+pub async fn run(w: &World, size: AppSize) -> f64 {
+    let cfg = config(size);
+    run_inner(w, cfg.n, cfg.block, None).await
+}
+
+/// Sink used by the integration test to capture the computed C blocks.
+pub(crate) type BlockSink = std::rc::Rc<std::cell::RefCell<Vec<(usize, usize, Vec<f64>)>>>;
+
+/// Shared with the test below, which passes a sink for the full result.
+pub(crate) async fn run_inner(w: &World, n: usize, b: usize, sink: Option<BlockSink>) -> f64 {
+    assert_eq!(n % b, 0, "block size must divide the matrix");
+    let g = n / b;
+    let nprocs = w.n();
+    let me = w.me();
+    let blocks_total = g * g;
+    let slots = blocks_total.div_ceil(nprocs);
+    // (slots sizes the symmetric per-rank block arrays below)
+    let block_bytes = (b * b * 8) as u64;
+
+    let lay = Layout {
+        g,
+        b,
+        nprocs,
+        a: w.p.alloc(slots as u64 * block_bytes),
+        b_mat: w.p.alloc(slots as u64 * block_bytes),
+        c: w.p.alloc(slots as u64 * block_bytes),
+    };
+    // Two scratch blocks for fetched operands.
+    let scr_a = w.p.alloc(block_bytes);
+    let scr_b = w.p.alloc(block_bytes);
+
+    // Owners initialise their blocks.
+    for bi in 0..g {
+        for bj in 0..g {
+            if lay.owner(bi, bj) != me {
+                continue;
+            }
+            let mut abuf = Vec::with_capacity(b * b);
+            let mut bbuf = Vec::with_capacity(b * b);
+            for r in 0..b {
+                for c in 0..b {
+                    abuf.push(a_entry(bi * b + r, bj * b + c));
+                    bbuf.push(b_entry(bi * b + r, bj * b + c));
+                }
+            }
+            w.p.write_f64_slice(lay.addr_of(lay.a, bi, bj), &abuf);
+            w.p.write_f64_slice(lay.addr_of(lay.b_mat, bi, bj), &bbuf);
+            w.p.write_f64_slice(lay.addr_of(lay.c, bi, bj), &vec![0.0; b * b]);
+        }
+    }
+    w.coll.barrier().await;
+
+    // For every C block we own: C(bi,bj) = Σ_k A(bi,k)·B(k,bj).
+    let mut sum = 0.0;
+    for bi in 0..g {
+        for bj in 0..g {
+            if lay.owner(bi, bj) != me {
+                continue;
+            }
+            let mut acc = vec![0.0f64; b * b];
+            for k in 0..g {
+                let fetch = |owner: usize, addr: Addr, scratch: Addr| {
+                    let w = w.clone();
+                    async move {
+                        if owner == w.me() {
+                            let data = w.p.read_bytes(addr, block_bytes as u32);
+                            w.p.write_bytes(scratch, &data);
+                            w.work(((b * b) as u64 / 4) * WORK_SCALE).await;
+                        } else {
+                            w.sc.bulk_get(
+                                GlobalPtr {
+                                    proc: ProcId(owner as u32),
+                                    addr,
+                                },
+                                scratch,
+                                block_bytes as u32,
+                            )
+                            .await;
+                        }
+                    }
+                };
+                fetch(lay.owner(bi, k), lay.addr_of(lay.a, bi, k), scr_a).await;
+                fetch(lay.owner(k, bj), lay.addr_of(lay.b_mat, k, bj), scr_b).await;
+                let ab = w.p.read_f64_slice(scr_a, b * b);
+                let bb = w.p.read_f64_slice(scr_b, b * b);
+                for r in 0..b {
+                    for kk in 0..b {
+                        let av = ab[r * b + kk];
+                        for c in 0..b {
+                            acc[r * b + c] += av * bb[kk * b + c];
+                        }
+                    }
+                }
+                w.work(((b * b * b) as u64 * 2) * WORK_SCALE).await;
+            }
+            w.p.write_f64_slice(lay.addr_of(lay.c, bi, bj), &acc);
+            for v in &acc {
+                sum = fold_checksum(sum, *v);
+            }
+            if let Some(sink) = &sink {
+                sink.borrow_mut().push((bi, bj, acc));
+            }
+        }
+    }
+    w.coll.barrier().await;
+    sum
+}

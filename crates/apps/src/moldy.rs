@@ -1,0 +1,127 @@
+//! Moldy: Monte-Carlo molecular dynamics (native RMA).
+//!
+//! "The main communication operation in the program is a broadcast of
+//! data in between iterations to combine and concatenate vectors. The
+//! program uses PUT operations to broadcast the data." Each rank owns a
+//! segment of the replicated position vector; after locally displacing its
+//! molecules it PUTs the segment into every peer's replica (large
+//! messages — Moldy is bandwidth-bound, Table 6: ~6.5 KB average).
+
+use crate::common::{fold_checksum, partition, AppSize, Lcg, World};
+
+/// Compute-per-communication calibration: matches the per-processor
+/// message rates of Table 6 at the Small problem size (see DESIGN.md on
+/// the deterministic compute model).
+const WORK_SCALE: u64 = 400;
+
+struct Config {
+    molecules: usize,
+    iters: usize,
+}
+
+fn config(size: AppSize) -> Config {
+    match size {
+        AppSize::Tiny => Config {
+            molecules: 64,
+            iters: 2,
+        },
+        AppSize::Small => Config {
+            molecules: 512,
+            iters: 4,
+        },
+        AppSize::Full => Config {
+            molecules: 4304,
+            iters: 10,
+        },
+    }
+}
+
+/// Runs Moldy; returns this rank's checksum contribution.
+pub async fn run(w: &World, size: AppSize) -> f64 {
+    let cfg = config(size);
+    let n = w.n();
+    let me = w.me();
+    let mols = cfg.molecules;
+    // Replicated position vector, 3 doubles per molecule, identical
+    // initialisation on every rank.
+    let pos = w.p.alloc(mols as u64 * 24);
+    {
+        let mut rng = Lcg::new(7);
+        for i in 0..mols {
+            for d in 0..3u64 {
+                w.p.write_f64(pos.index(i as u64 * 3 + d, 8), rng.next_f64() * 10.0);
+            }
+        }
+    }
+    let (start, count) = partition(mols, n, me);
+    let seg_flag = w.p.new_flag();
+    w.coll.barrier().await;
+
+    let mut energy = 0.0;
+    for it in 0..cfg.iters {
+        // Monte-Carlo displacement of the local segment. Each draw is
+        // derived from the *global* molecule index so the trajectory is
+        // independent of how molecules are partitioned over ranks.
+        for i in start..start + count {
+            for d in 0..3u64 {
+                let mut rng = Lcg::new((it as u64) << 40 | (i as u64) << 8 | d);
+                let a = pos.index(i as u64 * 3 + d, 8);
+                let x = w.p.read_f64(a);
+                w.p.write_f64(a, x + (rng.next_f64() - 0.5) * 0.1);
+            }
+        }
+        w.work((count as u64 * 60) * WORK_SCALE).await;
+        // Broadcast the updated segment with PUTs (combine/concatenate).
+        if count > 0 {
+            for r in 0..n {
+                if r == me {
+                    continue;
+                }
+                let peer = mproxy::ProcId(r as u32);
+                let rflag = w.p.remote_flag(peer, seg_flag.id());
+                w.p.put(
+                    pos.index(start as u64 * 3, 8),
+                    peer.into(),
+                    pos.index(start as u64 * 3, 8),
+                    count as u32 * 24,
+                    None,
+                    Some(rflag),
+                )
+                .await
+                .expect("moldy segment put failed");
+            }
+        }
+        // Wait for every peer's segment of this iteration.
+        let senders = (0..n)
+            .filter(|&r| r != me && partition(mols, n, r).1 > 0)
+            .count();
+        w.p.wait_flag(&seg_flag, ((it + 1) * senders) as u64).await;
+        // Energy over the full (replicated) vector: own molecules against
+        // a strided sample of all molecules.
+        let mut e = 0.0;
+        let stride = (mols / 16).max(1);
+        for i in start..start + count {
+            let xi = w.p.read_f64(pos.index(i as u64 * 3, 8));
+            let yi = w.p.read_f64(pos.index(i as u64 * 3 + 1, 8));
+            let zi = w.p.read_f64(pos.index(i as u64 * 3 + 2, 8));
+            let mut j = 0;
+            while j < mols {
+                if j != i {
+                    let xj = w.p.read_f64(pos.index(j as u64 * 3, 8));
+                    let yj = w.p.read_f64(pos.index(j as u64 * 3 + 1, 8));
+                    let zj = w.p.read_f64(pos.index(j as u64 * 3 + 2, 8));
+                    let d2 = (xi - xj).powi(2) + (yi - yj).powi(2) + (zi - zj).powi(2) + 1e-6;
+                    e += 1.0 / d2.sqrt();
+                }
+                j += stride;
+            }
+        }
+        w.work(((count * (mols / stride).max(1)) as u64 * 8) * WORK_SCALE)
+            .await;
+        energy = w.coll.allreduce_sum(e).await;
+        // Nobody may overwrite replicas until everyone finished reading.
+        w.coll.barrier().await;
+    }
+    // Identical on every rank; contribute 1/n so the global sum equals it.
+    fold_checksum(0.0, energy) / n as f64
+}

@@ -1,0 +1,174 @@
+//! P-Ray: a parallel ray tracer (Split-C).
+//!
+//! "P-Ray is largely unaffected by the choice of design points due to
+//! small and infrequent messages" — the scene's spheres are distributed
+//! round-robin and fetched once (small bulk gets); rendering is pure
+//! computation with only light progress reporting back to rank 0.
+
+use mproxy::ProcId;
+use mproxy_splitc::GlobalPtr;
+
+use crate::common::{fold_checksum, partition, AppSize, Lcg, World};
+
+/// Compute-per-communication calibration: matches the per-processor
+/// message rates of Table 6 at the Small problem size (see DESIGN.md on
+/// the deterministic compute model).
+const WORK_SCALE: u64 = 80;
+
+struct Config {
+    width: usize,
+    height: usize,
+    spheres: usize,
+}
+
+fn config(size: AppSize) -> Config {
+    match size {
+        AppSize::Tiny => Config {
+            width: 24,
+            height: 24,
+            spheres: 8,
+        },
+        AppSize::Small => Config {
+            width: 64,
+            height: 64,
+            spheres: 8,
+        },
+        AppSize::Full => Config {
+            width: 512,
+            height: 512,
+            spheres: 8,
+        },
+    }
+}
+
+const SPHERE_F64S: usize = 8; // cx, cy, cz, radius, r, g, b, shininess
+
+fn make_sphere(rng: &mut Lcg) -> [f64; SPHERE_F64S] {
+    [
+        rng.next_f64() * 8.0 - 4.0,
+        rng.next_f64() * 8.0 - 4.0,
+        6.0 + rng.next_f64() * 6.0,
+        0.5 + rng.next_f64() * 1.5,
+        rng.next_f64(),
+        rng.next_f64(),
+        rng.next_f64(),
+        1.0 + rng.next_f64() * 4.0,
+    ]
+}
+
+/// Ray/sphere intersection: returns the nearest positive t, if any.
+fn intersect(ox: f64, oy: f64, oz: f64, dx: f64, dy: f64, dz: f64, s: &[f64]) -> Option<f64> {
+    let (lx, ly, lz) = (s[0] - ox, s[1] - oy, s[2] - oz);
+    let tca = lx * dx + ly * dy + lz * dz;
+    let d2 = lx * lx + ly * ly + lz * lz - tca * tca;
+    let r2 = s[3] * s[3];
+    if d2 > r2 {
+        return None;
+    }
+    let thc = (r2 - d2).sqrt();
+    let t = tca - thc;
+    (t > 1e-6).then_some(t)
+}
+
+/// Runs P-Ray; returns this rank's checksum contribution.
+pub async fn run(w: &World, size: AppSize) -> f64 {
+    let cfg = config(size);
+    let n = w.n();
+    let me = w.me();
+
+    // Scene distribution: sphere i lives at rank i % n; symmetric layout.
+    let per_rank = cfg.spheres.div_ceil(n);
+    let scene = w.p.alloc((per_rank * SPHERE_F64S * 8) as u64);
+    {
+        let mut rng = Lcg::new(31);
+        for i in 0..cfg.spheres {
+            let s = make_sphere(&mut rng);
+            if i % n == me {
+                w.p.write_f64_slice(scene.index((i / n * SPHERE_F64S) as u64, 8), &s);
+            }
+        }
+    }
+    let progress = w.p.alloc(8 * n as u64); // rank 0's progress board
+    w.coll.barrier().await;
+
+    // Fetch the full scene (small, infrequent bulk gets).
+    let mut spheres: Vec<[f64; SPHERE_F64S]> = Vec::with_capacity(cfg.spheres);
+    let scratch = w.p.alloc((SPHERE_F64S * 8) as u64);
+    for i in 0..cfg.spheres {
+        let owner = i % n;
+        let slot = scene.index((i / n * SPHERE_F64S) as u64, 8);
+        if owner == me {
+            spheres.push(
+                w.p.read_f64_slice(slot, SPHERE_F64S)
+                    .try_into()
+                    .expect("8 floats"),
+            );
+        } else {
+            w.sc.bulk_get(
+                GlobalPtr {
+                    proc: ProcId(owner as u32),
+                    addr: slot,
+                },
+                scratch,
+                (SPHERE_F64S * 8) as u32,
+            )
+            .await;
+            spheres.push(
+                w.p.read_f64_slice(scratch, SPHERE_F64S)
+                    .try_into()
+                    .expect("8 floats"),
+            );
+        }
+    }
+
+    // Render our rows.
+    let (row0, rows) = partition(cfg.height, n, me);
+    let mut sum = 0.0;
+    let my_progress = w.p.alloc(8);
+    for (done, y) in (row0..row0 + rows).enumerate() {
+        for x in 0..cfg.width {
+            // Camera ray through the pixel.
+            let dx = (x as f64 + 0.5) / cfg.width as f64 - 0.5;
+            let dy = (y as f64 + 0.5) / cfg.height as f64 - 0.5;
+            let len = (dx * dx + dy * dy + 1.0).sqrt();
+            let (dx, dy, dz) = (dx / len, dy / len, 1.0 / len);
+            let mut best: Option<(f64, usize)> = None;
+            for (i, s) in spheres.iter().enumerate() {
+                if let Some(t) = intersect(0.0, 0.0, 0.0, dx, dy, dz, s) {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, i));
+                    }
+                }
+            }
+            let lum = match best {
+                Some((t, i)) => {
+                    let s = &spheres[i];
+                    // Diffuse shade from a fixed light.
+                    let (px, py, pz) = (t * dx, t * dy, t * dz);
+                    let (nx, ny, nz) = ((px - s[0]) / s[3], (py - s[1]) / s[3], (pz - s[2]) / s[3]);
+                    let ndotl = (-0.5 * nx - 0.5 * ny - 0.7 * nz).max(0.0);
+                    (s[4] + s[5] + s[6]) / 3.0 * (0.1 + 0.9 * ndotl)
+                }
+                None => 0.02, // background
+            };
+            sum = fold_checksum(sum, lum);
+        }
+        w.work(((cfg.width * (16 + 6 * cfg.spheres)) as u64) * WORK_SCALE)
+            .await;
+        // Light progress reporting every 8 rows (small infrequent puts).
+        if done % 8 == 7 && me != 0 {
+            w.p.write_u64(my_progress, done as u64 + 1);
+            w.sc.store(
+                my_progress,
+                GlobalPtr {
+                    proc: ProcId(0),
+                    addr: progress.index(me as u64, 8),
+                },
+                8,
+            )
+            .await;
+        }
+    }
+    w.sc.all_store_sync(&w.coll).await;
+    sum
+}

@@ -1,0 +1,271 @@
+//! Sample and Sampleb: parallel sample sort (Split-C).
+//!
+//! Two variants sharing setup, as in the paper:
+//!
+//! * **Sample** "uses am_request messages to send two double floating
+//!   point numbers in each message when exchanging data in its main
+//!   communication phase" — with Wator the most communication-intensive
+//!   program (small messages, high rate).
+//! * **Sampleb** "uses bulk transfers": keys are sorted locally, split
+//!   into contiguous bucket runs, and moved with bulk puts.
+//!
+//! Both verify their output: each rank asserts local sortedness and the
+//! bucket boundary invariant against its neighbour.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mproxy::ProcId;
+use mproxy_splitc::GlobalPtr;
+
+use crate::common::{fold_checksum, AppSize, Lcg, World};
+
+/// Compute-per-communication calibration: matches the per-processor
+/// message rates of Table 6 at the Small problem size (see DESIGN.md on
+/// the deterministic compute model).
+const WORK_SCALE: u64 = 14;
+
+fn total_keys(size: AppSize) -> usize {
+    match size {
+        AppSize::Tiny => 512,
+        AppSize::Small => 8192,
+        AppSize::Full => 262_144,
+    }
+}
+
+/// Key at global index `i` — independent of the partitioning.
+fn key_at(i: usize) -> f64 {
+    Lcg::new(0x5eed_0000 + i as u64).next_f64()
+}
+
+const SAMPLES_PER_PROC: usize = 8;
+
+/// Runs Sample (`bulk = false`) or Sampleb (`bulk = true`); returns this
+/// rank's checksum contribution.
+pub async fn run(w: &World, size: AppSize, bulk: bool) -> f64 {
+    let n = w.n();
+    let me = w.me();
+    let (key0, kpp) = crate::common::partition(total_keys(size), n, me);
+
+    // All communication areas and handlers are set up before the first
+    // exchange, then published by a barrier: a peer may reach its sends
+    // while we are still computing, and must find our memory and handler
+    // table ready.
+    let sample_area = w.p.alloc((n * SAMPLES_PER_PROC * 8) as u64);
+    let splitters_area = w.p.alloc(((n - 1).max(1) * 8) as u64);
+    let my_samples = w.p.alloc((SAMPLES_PER_PROC * 8) as u64);
+    let cap = (3 * kpp / n + 32) * 8;
+    let recv_area = w.p.alloc((n * cap) as u64);
+    let counts_area = w.p.alloc((n * 8) as u64);
+    let send_buf = w.p.alloc((kpp * 8) as u64);
+    let counts_out = w.p.alloc((n * 8) as u64);
+    let inbox: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+    let received = Rc::new(std::cell::Cell::new(0u64));
+    let h_keys = {
+        let inbox = Rc::clone(&inbox);
+        let received = Rc::clone(&received);
+        w.am.register(move |_, msg| {
+            let inbox = Rc::clone(&inbox);
+            let received = Rc::clone(&received);
+            Box::pin(async move {
+                for chunk in msg.args.chunks_exact(8) {
+                    inbox
+                        .borrow_mut()
+                        .push(f64::from_le_bytes(chunk.try_into().expect("f64")));
+                    received.set(received.get() + 1);
+                }
+            })
+        })
+    };
+    w.coll.barrier().await;
+
+    // Local keys (global stream sliced by the partition).
+    let mut keys: Vec<f64> = (key0..key0 + kpp).map(key_at).collect();
+    w.work((kpp as u64 * 2) * WORK_SCALE).await;
+
+    // --- splitter selection -------------------------------------------------
+    {
+        let mut sorted = keys.clone();
+        sorted.sort_by(f64::total_cmp);
+        w.work((kpp as u64 * 8) * WORK_SCALE).await; // local sample sort pass
+        let picks: Vec<f64> = (0..SAMPLES_PER_PROC)
+            .map(|i| sorted[(i + 1) * sorted.len() / (SAMPLES_PER_PROC + 1)])
+            .collect();
+        w.p.write_f64_slice(my_samples, &picks);
+    }
+    if me == 0 {
+        let picks = w.p.read_f64_slice(my_samples, SAMPLES_PER_PROC);
+        w.p.write_f64_slice(sample_area, &picks);
+    } else {
+        w.sc.store(
+            my_samples,
+            GlobalPtr {
+                proc: ProcId(0),
+                addr: sample_area.index((me * SAMPLES_PER_PROC) as u64, 8),
+            },
+            (SAMPLES_PER_PROC * 8) as u32,
+        )
+        .await;
+    }
+    w.sc.all_store_sync(&w.coll).await;
+    if me == 0 && n > 1 {
+        let mut all = w.p.read_f64_slice(sample_area, n * SAMPLES_PER_PROC);
+        all.sort_by(f64::total_cmp);
+        let splitters: Vec<f64> = (1..n).map(|i| all[i * all.len() / n]).collect();
+        w.p.write_f64_slice(splitters_area, &splitters);
+        w.work(((n * SAMPLES_PER_PROC) as u64 * 10) * WORK_SCALE)
+            .await;
+    }
+    if n > 1 {
+        w.coll
+            .broadcast(ProcId(0), splitters_area, ((n - 1) * 8) as u32)
+            .await;
+    }
+    let splitters = w.p.read_f64_slice(splitters_area, n - 1);
+    let bucket_of =
+        move |k: f64, splitters: &[f64]| -> usize { splitters.partition_point(|&s| s <= k) };
+
+    // --- key exchange --------------------------------------------------------
+    let mut routed = 0u64;
+
+    if bulk {
+        // Sampleb: sort locally, then one bulk transfer per destination.
+        // All sorted keys are staged once; bulk transfers read stable
+        // slices of this buffer (large puts are zero-copy until serviced).
+        keys.sort_by(f64::total_cmp);
+        w.work((kpp as u64 * 16) * WORK_SCALE).await;
+        w.p.write_f64_slice(send_buf, &keys);
+        // Contiguous bucket runs out of the sorted key array.
+        let mut start = 0usize;
+        for dest in 0..n {
+            let end = if dest + 1 < n {
+                keys.partition_point(|&k| k < splitters[dest])
+            } else {
+                keys.len()
+            };
+            let run = &keys[start..end];
+            assert!(
+                run.len() * 8 <= cap,
+                "bucket overflow: {} keys for capacity {}",
+                run.len(),
+                cap / 8
+            );
+            if dest == me {
+                inbox.borrow_mut().extend_from_slice(run);
+                received.set(received.get() + run.len() as u64);
+            } else {
+                let count_cell = counts_out.index(dest as u64, 8);
+                w.p.write_u64(count_cell, run.len() as u64);
+                w.sc.store(
+                    count_cell,
+                    GlobalPtr {
+                        proc: ProcId(dest as u32),
+                        addr: counts_area.index(me as u64, 8),
+                    },
+                    8,
+                )
+                .await;
+                if !run.is_empty() {
+                    w.sc.store(
+                        send_buf.index(start as u64, 8),
+                        GlobalPtr {
+                            proc: ProcId(dest as u32),
+                            addr: recv_area.index((dest_slot(me) * cap) as u64, 1),
+                        },
+                        (run.len() * 8) as u32,
+                    )
+                    .await;
+                }
+            }
+            routed += run.len() as u64;
+            start = end;
+        }
+        w.sc.all_store_sync(&w.coll).await;
+        // Assemble from the per-source slots.
+        for src in 0..n {
+            if src == me {
+                continue;
+            }
+            let cnt = w.p.read_u64(counts_area.index(src as u64, 8)) as usize;
+            if cnt > 0 {
+                let vals =
+                    w.p.read_f64_slice(recv_area.index((dest_slot(src) * cap) as u64, 1), cnt);
+                inbox.borrow_mut().extend_from_slice(&vals);
+                received.set(received.get() + cnt as u64);
+            }
+        }
+        let _ = routed;
+    } else {
+        // Sample: two keys per active message.
+        let mut pending: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for &k in &keys {
+            let dest = bucket_of(k, &splitters);
+            routed += 1;
+            if dest == me {
+                inbox.borrow_mut().push(k);
+                received.set(received.get() + 1);
+                continue;
+            }
+            pending[dest].push(k);
+            if pending[dest].len() == 2 {
+                let mut args = [0u8; 16];
+                args[0..8].copy_from_slice(&pending[dest][0].to_le_bytes());
+                args[8..16].copy_from_slice(&pending[dest][1].to_le_bytes());
+                w.am.request(ProcId(dest as u32), h_keys, &args).await;
+                pending[dest].clear();
+                // Service arrivals now and then to bound queue growth.
+                w.am.poll().await;
+            }
+        }
+        for (dest, rest) in pending.into_iter().enumerate() {
+            if !rest.is_empty() {
+                let mut args = Vec::with_capacity(rest.len() * 8);
+                for k in rest {
+                    args.extend_from_slice(&k.to_le_bytes());
+                }
+                w.am.request(ProcId(dest as u32), h_keys, &args).await;
+            }
+        }
+        // Global completion: routed keys everywhere == received keys
+        // everywhere.
+        loop {
+            let sent = w.coll.allreduce_sum(routed as f64).await;
+            let recv = w.coll.allreduce_sum(received.get() as f64).await;
+            if sent == recv {
+                break;
+            }
+            // Drain a batch before the next (expensive) global check.
+            for _ in 0..16 {
+                w.am.poll().await;
+            }
+        }
+    }
+
+    // --- local sort and verification -----------------------------------------
+    let mut bucket = inbox.borrow().clone();
+    bucket.sort_by(f64::total_cmp);
+    w.work(((bucket.len().max(1) as u64) * 20) * WORK_SCALE)
+        .await;
+    assert!(bucket.windows(2).all(|p| p[0] <= p[1]), "bucket not sorted");
+    // Boundary invariant: my smallest key must be >= my left splitter, my
+    // largest < my right splitter.
+    if me > 0 {
+        if let Some(&first) = bucket.first() {
+            assert!(first >= splitters[me - 1], "bucket boundary violated");
+        }
+    }
+    if me + 1 < n {
+        if let Some(&last) = bucket.last() {
+            assert!(last < splitters[me], "bucket boundary violated");
+        }
+    }
+    w.coll.barrier().await;
+    // Checksum: global key mass is conserved by routing.
+    bucket.iter().fold(0.0, |acc, &k| fold_checksum(acc, k))
+}
+
+/// Slot index used for the per-source staging area (symmetric on both
+/// sides of a transfer).
+fn dest_slot(src: usize) -> usize {
+    src
+}

@@ -1,0 +1,145 @@
+//! Water: "n-squared" molecular dynamics (CRL, adapted from SPLASH-2).
+//!
+//! Each rank homes one region holding its molecules. Every iteration each
+//! rank reads every other rank's region (coherently cached for the whole
+//! force phase), computes O(local × total) pair forces, then rewrites its
+//! own region — invalidating the cached copies and regenerating the
+//! read-mostly coherence traffic the paper measures.
+
+use mproxy::ProcId;
+use mproxy_crl::RegionId;
+
+use crate::common::{fold_checksum, partition, AppSize, Lcg, World};
+
+/// Compute-per-communication calibration: matches the per-processor
+/// message rates of Table 6 at the Small problem size (see DESIGN.md on
+/// the deterministic compute model).
+const WORK_SCALE: u64 = 4;
+
+struct Config {
+    molecules: usize,
+    iters: usize,
+}
+
+fn config(size: AppSize) -> Config {
+    match size {
+        AppSize::Tiny => Config {
+            molecules: 32,
+            iters: 2,
+        },
+        AppSize::Small => Config {
+            molecules: 128,
+            iters: 3,
+        },
+        AppSize::Full => Config {
+            molecules: 512,
+            iters: 3,
+        },
+    }
+}
+
+const MOL_BYTES: u64 = 32; // x, y, z, mass
+
+/// Runs Water; returns this rank's checksum contribution.
+pub async fn run(w: &World, size: AppSize) -> f64 {
+    let cfg = config(size);
+    let n = w.n();
+    let me = w.me();
+    let (_, my_count) = partition(cfg.molecules, n, me);
+    let max_count = partition(cfg.molecules, n, 0).1;
+
+    // Every rank creates one region sized for the largest share.
+    let my_rid = w.crl.create((max_count as u64 * MOL_BYTES) as u32);
+    debug_assert_eq!(my_rid.idx, 0);
+    let regions: Vec<_> = (0..n)
+        .map(|r| {
+            w.crl.map(
+                RegionId {
+                    home: ProcId(r as u32),
+                    idx: 0,
+                },
+                (max_count as u64 * MOL_BYTES) as u32,
+            )
+        })
+        .collect();
+
+    // Initialise own molecules (same global stream sliced per rank).
+    {
+        let (start, _) = partition(cfg.molecules, n, me);
+        let mut rng = Lcg::new(11);
+        let mut all = Vec::with_capacity(cfg.molecules * 4);
+        for _ in 0..cfg.molecules {
+            all.push(rng.next_f64() * 8.0);
+            all.push(rng.next_f64() * 8.0);
+            all.push(rng.next_f64() * 8.0);
+            all.push(1.0 + rng.next_f64());
+        }
+        w.crl.start_write(&regions[me]).await;
+        for (slot, i) in (start..start + my_count).enumerate() {
+            w.p.write_f64_slice(
+                regions[me].addr().index(slot as u64 * 4, 8),
+                &all[i * 4..i * 4 + 4],
+            );
+        }
+        w.crl.end_write(&regions[me]).await;
+    }
+    w.coll.barrier().await;
+
+    let mut energy = 0.0;
+    for _it in 0..cfg.iters {
+        // Snapshot every rank's molecules (coherent reads, cached).
+        let mut snapshot: Vec<f64> = Vec::with_capacity(n * max_count * 4);
+        for (r, rgn) in regions.iter().enumerate() {
+            let count = partition(cfg.molecules, n, r).1;
+            w.crl.start_read(rgn).await;
+            snapshot.extend(w.p.read_f64_slice(rgn.addr(), count * 4));
+            w.crl.end_read(rgn).await;
+            snapshot.resize((r + 1) * max_count * 4, 0.0);
+        }
+        // Pair forces on own molecules against everything (real O(n²)).
+        let my_base = me * max_count * 4;
+        let mut forces = vec![0.0f64; my_count * 3];
+        let mut e = 0.0;
+        for i in 0..my_count {
+            let (xi, yi, zi) = (
+                snapshot[my_base + i * 4],
+                snapshot[my_base + i * 4 + 1],
+                snapshot[my_base + i * 4 + 2],
+            );
+            for r in 0..n {
+                let count = partition(cfg.molecules, n, r).1;
+                for j in 0..count {
+                    if r == me && j == i {
+                        continue;
+                    }
+                    let b = r * max_count * 4 + j * 4;
+                    let (dx, dy, dz) =
+                        (snapshot[b] - xi, snapshot[b + 1] - yi, snapshot[b + 2] - zi);
+                    let d2 = dx * dx + dy * dy + dz * dz + 0.01;
+                    let inv = snapshot[b + 3] / (d2 * d2.sqrt());
+                    forces[i * 3] += dx * inv;
+                    forces[i * 3 + 1] += dy * inv;
+                    forces[i * 3 + 2] += dz * inv;
+                    e += 0.5 / d2.sqrt();
+                }
+            }
+        }
+        w.work(((my_count * cfg.molecules) as u64 * 12) * WORK_SCALE)
+            .await;
+        // Everyone must finish reading before anyone rewrites.
+        w.coll.barrier().await;
+        w.crl.start_write(&regions[me]).await;
+        for i in 0..my_count {
+            for d in 0..3u64 {
+                let a = regions[me].addr().index(i as u64 * 4 + d, 8);
+                let x = w.p.read_f64(a);
+                w.p.write_f64(a, x + 0.001 * forces[i * 3 + d as usize]);
+            }
+        }
+        w.crl.end_write(&regions[me]).await;
+        w.work((my_count as u64 * 15) * WORK_SCALE).await;
+        energy = w.coll.allreduce_sum(e).await;
+        w.coll.barrier().await;
+    }
+    fold_checksum(0.0, energy) / n as f64
+}

@@ -1,0 +1,142 @@
+//! Wator: n-body simulation of fish in a current (Split-C).
+//!
+//! The paper: Wator "spends a significant amount of time using GETs to
+//! read the positions and masses of fish mapped remotely when computing
+//! the forces acting on fish that are mapped locally" — frequent, small
+//! (40-byte) messages; with Sample, the most communication-intensive
+//! program in the suite (Table 6: 19 ops/ms/proc on HW1).
+
+use mproxy::ProcId;
+use mproxy_splitc::GlobalPtr;
+
+use crate::common::{fold_checksum, partition, AppSize, Lcg, World};
+
+/// Compute-per-communication calibration: matches the per-processor
+/// message rates of Table 6 at the Small problem size (see DESIGN.md on
+/// the deterministic compute model).
+const WORK_SCALE: u64 = 11;
+
+struct Config {
+    fish: usize,
+    steps: usize,
+}
+
+fn config(size: AppSize) -> Config {
+    match size {
+        AppSize::Tiny => Config { fish: 48, steps: 2 },
+        AppSize::Small => Config {
+            fish: 192,
+            steps: 3,
+        },
+        AppSize::Full => Config {
+            fish: 400,
+            steps: 10,
+        },
+    }
+}
+
+const FISH_BYTES: u64 = 40; // x, y, vx, vy, mass
+
+/// Runs Wator; returns this rank's checksum contribution.
+pub async fn run(w: &World, size: AppSize) -> f64 {
+    let cfg = config(size);
+    let n = w.n();
+    let me = w.me();
+    let (start, my_count) = partition(cfg.fish, n, me);
+    let max_count = partition(cfg.fish, n, 0).1;
+
+    // Symmetric layout: fish array plus a snapshot area for remote reads.
+    let fish = w.p.alloc(max_count as u64 * FISH_BYTES);
+    let snap = w.p.alloc(cfg.fish as u64 * FISH_BYTES);
+    {
+        let mut rng = Lcg::new(23);
+        let mut all = Vec::with_capacity(cfg.fish * 5);
+        for _ in 0..cfg.fish {
+            all.push(rng.next_f64() * 16.0);
+            all.push(rng.next_f64() * 16.0);
+            all.push(0.0);
+            all.push(0.0);
+            all.push(0.5 + rng.next_f64());
+        }
+        for (slot, i) in (start..start + my_count).enumerate() {
+            w.p.write_f64_slice(fish.index(slot as u64 * 5, 8), &all[i * 5..i * 5 + 5]);
+        }
+    }
+    w.coll.barrier().await;
+
+    for step in 0..cfg.steps {
+        // Read phase: GET every remote fish individually (the paper's
+        // small-message signature), split-phase so GETs overlap.
+        for r in 0..n {
+            let (rs, rc) = partition(cfg.fish, n, r);
+            if r == me {
+                // Local copy into the snapshot.
+                for j in 0..rc {
+                    let rec = w.p.read_f64_slice(fish.index(j as u64 * 5, 8), 5);
+                    w.p.write_f64_slice(snap.index((rs + j) as u64 * 5, 8), &rec);
+                }
+                w.work((rc as u64 * 4) * WORK_SCALE).await;
+                continue;
+            }
+            for j in 0..rc {
+                w.sc.get_nb(
+                    GlobalPtr {
+                        proc: ProcId(r as u32),
+                        addr: fish.index(j as u64 * 5, 8),
+                    },
+                    snap.index((rs + j) as u64 * 5, 8),
+                    FISH_BYTES as u32,
+                )
+                .await;
+            }
+        }
+        w.sc.sync().await;
+        // Force computation over the snapshot (real O(n²) gravity plus a
+        // circular current).
+        let all = w.p.read_f64_slice(snap, cfg.fish * 5);
+        let mut upd = Vec::with_capacity(my_count * 5);
+        for i in 0..my_count {
+            let g = start + i;
+            let (x, y, mut vx, mut vy, m) = (
+                all[g * 5],
+                all[g * 5 + 1],
+                all[g * 5 + 2],
+                all[g * 5 + 3],
+                all[g * 5 + 4],
+            );
+            let (mut fx, mut fy) = (0.0, 0.0);
+            for (j, other) in all.chunks_exact(5).enumerate() {
+                if j == g {
+                    continue;
+                }
+                let (dx, dy) = (other[0] - x, other[1] - y);
+                let d2 = dx * dx + dy * dy + 0.05;
+                let f = other[4] / (d2 * d2.sqrt());
+                fx += dx * f;
+                fy += dy * f;
+            }
+            // The current: a gentle rotation about the tank centre.
+            fx += -0.05 * (y - 8.0);
+            fy += 0.05 * (x - 8.0);
+            vx += 0.01 * fx / m;
+            vy += 0.01 * fy / m;
+            upd.extend_from_slice(&[x + 0.01 * vx, y + 0.01 * vy, vx, vy, m]);
+        }
+        w.work(((my_count * cfg.fish) as u64 * 9) * WORK_SCALE)
+            .await;
+        // Nobody may rewrite fish until all GETs of this step completed.
+        w.coll.barrier().await;
+        for i in 0..my_count {
+            w.p.write_f64_slice(fish.index(i as u64 * 5, 8), &upd[i * 5..i * 5 + 5]);
+        }
+        w.work((my_count as u64 * 5) * WORK_SCALE).await;
+        w.coll.barrier().await;
+        let _ = step;
+    }
+    let mut sum = 0.0;
+    for i in 0..my_count {
+        sum = fold_checksum(sum, w.p.read_f64(fish.index(i as u64 * 5, 8)));
+        sum = fold_checksum(sum, w.p.read_f64(fish.index(i as u64 * 5 + 1, 8)));
+    }
+    sum
+}

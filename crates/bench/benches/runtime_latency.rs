@@ -1,0 +1,75 @@
+//! Criterion benches of the *real* threaded message-proxy runtime: PUT
+//! round-trip latency, GET latency and ENQ throughput through an actual
+//! dedicated polling proxy. (On a single-core host the proxy shares the
+//! CPU with the benchmark thread, so absolute numbers are dominated by
+//! scheduling; on a multicore host they approach queue + wire costs.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mproxy_rt::{FlagId, RqId, RtClusterBuilder};
+
+fn put_roundtrip(c: &mut Criterion) {
+    let mut b = RtClusterBuilder::new(2);
+    let _p0 = b.add_process(0, 1 << 16);
+    let p1 = b.add_process(1, 1 << 16);
+    let (cluster, mut eps) = b.start();
+    let _e1 = eps.pop().unwrap();
+    let mut e0 = eps.pop().unwrap();
+    e0.seg().write_u64(0, 7);
+    let mut target = 0u64;
+    c.bench_function("rt_put_acked_8B", |bench| {
+        bench.iter(|| {
+            target += 1;
+            e0.put(0, p1, 64, 8, Some(FlagId(0)), None);
+            e0.wait_flag(FlagId(0), target);
+        });
+    });
+    drop(e0);
+    cluster.shutdown();
+}
+
+fn get_latency(c: &mut Criterion) {
+    let mut b = RtClusterBuilder::new(2);
+    let _p0 = b.add_process(0, 1 << 16);
+    let p1 = b.add_process(1, 1 << 16);
+    let (cluster, mut eps) = b.start();
+    let e1 = eps.pop().unwrap();
+    let mut e0 = eps.pop().unwrap();
+    e1.seg().write_u64(256, 99);
+    c.bench_function("rt_get_8B", |bench| {
+        bench.iter(|| {
+            e0.get_blocking(0, p1, 256, 8);
+        });
+    });
+    drop((e0, e1));
+    cluster.shutdown();
+}
+
+fn enq_deq(c: &mut Criterion) {
+    let mut b = RtClusterBuilder::new(1);
+    let _p0 = b.add_process(0, 1 << 16);
+    let p1 = b.add_process(0, 1 << 16);
+    let (cluster, mut eps) = b.start();
+    let e1 = eps.pop().unwrap();
+    let mut e0 = eps.pop().unwrap();
+    e0.seg().write_u64(0, 5);
+    let mut target = 0u64;
+    c.bench_function("rt_enq_deq_16B", |bench| {
+        bench.iter(|| {
+            target += 1;
+            e0.enq(0, p1, RqId(0), 16, Some(FlagId(1)), None);
+            e0.wait_flag(FlagId(1), target);
+            while e1.rq_try_recv(RqId(0)).is_none() {
+                std::hint::spin_loop();
+            }
+        });
+    });
+    drop((e0, e1));
+    cluster.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = put_roundtrip, get_latency, enq_deq
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation study of the §4.1 optimisation proposals, applied to the MP1
+//! baseline:
+//!
+//! * **64-bit address spaces** — "a 64-bit implementation of the PowerPC
+//!   architecture can avoid this overhead by permanently attaching to the
+//!   address spaces of all communicating user processes": V = 0.
+//! * **Bit-vector polling** — "the communicating processes and the message
+//!   proxy can cooperatively maintain a shared bit vector ... the message
+//!   proxy can detect the state of a number of command queues in a single
+//!   probe": the scan cost collapses to one probe (poll_instr -> 0.2 µs,
+//!   one miss).
+//! * **Cache update** (= the paper's MP2): C' = 0.25 µs.
+//!
+//! Prints one-word GET latency and a communication-intensive app's
+//! execution time for every combination.
+
+use mproxy_apps::{run_app_flat, AppId, AppSize};
+use mproxy_model::{DesignPoint, MachineParams, MP1};
+
+fn variant(v64: bool, bitvec: bool, update: bool) -> DesignPoint {
+    let machine = MachineParams {
+        vm_att_us: if v64 { 0.0001 } else { MP1.machine.vm_att_us },
+        poll_instr_us: if bitvec {
+            0.2
+        } else {
+            MP1.machine.poll_instr_us
+        },
+        poll_miss_factor: if bitvec {
+            1.0
+        } else {
+            MP1.machine.poll_miss_factor
+        },
+        ..MP1.machine
+    };
+    DesignPoint {
+        name: "ablate",
+        machine,
+        shared_miss_us: if update { 0.25 } else { MP1.shared_miss_us },
+        ..MP1
+    }
+}
+
+fn main() {
+    println!(
+        "{:<28} {:>9} {:>12} {:>12}",
+        "variant (on MP1)", "GET us", "Sample us", "vs base"
+    );
+    println!("{}", "-".repeat(64));
+    let base = run_app_flat(AppId::Sample, MP1, 8, AppSize::Small).elapsed_us;
+    for (label, v64, bv, cu) in [
+        ("baseline (MP1)", false, false, false),
+        ("+64-bit (V=0)", true, false, false),
+        ("+bit-vector poll", false, true, false),
+        ("+cache update (MP2)", false, false, true),
+        ("64-bit + bit-vector", true, true, false),
+        ("all three", true, true, true),
+    ] {
+        let d = variant(v64, bv, cu);
+        let get = mproxy::micro::run_micro(d).get_us;
+        let t = run_app_flat(AppId::Sample, d, 8, AppSize::Small).elapsed_us;
+        println!(
+            "{:<28} {:>9.2} {:>12.0} {:>11.1}%",
+            label,
+            get,
+            t,
+            100.0 * (t - base) / base
+        );
+    }
+}

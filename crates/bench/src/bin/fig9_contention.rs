@@ -1,0 +1,44 @@
+//! Regenerates Figure 9: speedups of the five communication-intensive
+//! applications on 4 SMP nodes with 4 compute processors per node, where
+//! a single message proxy per node must serve four processors (§5.4's
+//! contention regime).
+
+use mproxy_apps::{run_app, run_app_flat, AppId, AppSize};
+use mproxy_model::{ALL_DESIGN_POINTS, HW1};
+
+fn main() {
+    let apps = [
+        AppId::Lu,
+        AppId::Barnes,
+        AppId::Water,
+        AppId::Sample,
+        AppId::Wator,
+    ];
+    println!("4 SMP nodes x 4 compute processors (16 total); speedup vs T(1) on HW1\n");
+    print!("{:<12}", "app");
+    for d in ALL_DESIGN_POINTS {
+        print!(" {:>7}", d.name);
+    }
+    println!("  | flat-16 MP1");
+    for app in apps {
+        let t1 = run_app_flat(app, HW1, 1, AppSize::Small).elapsed_us;
+        print!("{:<12}", app.name());
+        let mut mp1_util = 0.0;
+        for d in ALL_DESIGN_POINTS {
+            let r = run_app(app, d, 4, 4, AppSize::Small);
+            if d.name == "MP1" {
+                mp1_util = r.traffic.interface_utilization;
+            }
+            print!(" {:>7.2}", t1 / r.elapsed_us);
+        }
+        // Contrast with the Figure 8 configuration at equal compute count.
+        let flat = run_app_flat(app, mproxy_model::MP1, 16, AppSize::Small).elapsed_us;
+        println!(
+            "  | {:>7.2}   (MP1 proxy util {:.0}%)",
+            t1 / flat,
+            mp1_util * 100.0
+        );
+    }
+    println!("\nExpected shape: the HW1-MP1 gap widens vs Figure 8 (proxy serves 4");
+    println!("procs), intra-node traffic cushions the loss, and MP2 recovers it.");
+}

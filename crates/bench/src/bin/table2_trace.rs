@@ -1,0 +1,51 @@
+//! Regenerates Tables 1 and 2: the primitive costs and the critical-path
+//! trace of one-word GET and PUT operations on the G30 message-proxy
+//! implementation (Section 4.1).
+
+use mproxy_model::{
+    format_trace, get_latency, get_trace, protection_cost_get, protection_cost_put,
+    put_oneway_latency, put_trace, MachineParams,
+};
+
+fn main() {
+    let m = MachineParams::G30;
+    println!("Table 1: primitive operations on the IBM Model G30");
+    println!("{:<42} {:>8}", "primitive", "us");
+    println!("{}", "-".repeat(52));
+    println!(
+        "{:<42} {:>8.2}",
+        "C   time to service a cache miss", m.cache_miss_us
+    );
+    println!(
+        "{:<42} {:>8.2}",
+        "U   uncached (adapter FIFO) access", m.uncached_us
+    );
+    println!(
+        "{:<42} {:>8.2}",
+        "V   vm_att cross-memory attach", m.vm_att_us
+    );
+    println!("{:<42} {:>8.2}", "P   polling delay", m.polling_delay_us());
+    println!("{:<42} {:>8.2}", "S   processor speed (x 75 MHz)", m.speed);
+    println!(
+        "{:<42} {:>8.2}",
+        "L   network transit latency", m.net_latency_us
+    );
+    println!();
+    println!("Table 2: critical path of a one-word GET");
+    println!("{}", format_trace(&get_trace(), &m));
+    println!("Critical path of a one-word PUT (one-way)");
+    println!("{}", format_trace(&put_trace(), &m));
+    println!(
+        "GET  = 10C + 6U + 3V + 3.6/S + 3P + 2L = {:.2} us  (paper: 27.5 + 2L)",
+        get_latency().eval_uniform(&m)
+    );
+    println!(
+        "PUT  =  7C + 4U + 2V + 2.2/S + 2P +  L = {:.2} us  (paper: 18.5 + L)",
+        put_oneway_latency().eval_uniform(&m)
+    );
+    println!(
+        "protection cost: GET 3C+3V+3P = {:.2} us (paper ~14), PUT 3C+2V+2P = {:.2} us (paper 10.3)",
+        protection_cost_get().eval_uniform(&m),
+        protection_cost_put().eval_uniform(&m)
+    );
+}

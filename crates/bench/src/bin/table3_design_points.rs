@@ -1,0 +1,51 @@
+//! Regenerates Table 3: the simulation parameters of the six design
+//! points (several cells reconstructed from Table 4 identities; see
+//! DESIGN.md).
+
+use mproxy_model::ALL_DESIGN_POINTS;
+
+fn main() {
+    println!(
+        "{:<34} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "Parameter", "HW0", "HW1", "MP0", "MP1", "MP2", "SW1"
+    );
+    println!("{}", "-".repeat(86));
+    type Getter = Box<dyn Fn(&mproxy_model::DesignPoint) -> f64>;
+    let rows: Vec<(&str, Getter)> = vec![
+        (
+            "Cache miss latency (us)",
+            Box::new(|d| d.machine.cache_miss_us),
+        ),
+        ("Proxy<->compute miss (us)", Box::new(|d| d.shared_miss_us)),
+        (
+            "Uncached access U (us)",
+            Box::new(|d| d.machine.uncached_us),
+        ),
+        ("vm_att V (us)", Box::new(|d| d.machine.vm_att_us)),
+        ("Polling delay P (us)", Box::new(|d| d.polling_us())),
+        ("Processor speed S (x75MHz)", Box::new(|d| d.machine.speed)),
+        ("Adapter overhead (us)", Box::new(|d| d.adapter_ovh_us)),
+        ("Syscall / interrupt (us)", Box::new(|d| d.syscall_us)),
+        (
+            "Compute proc overhead (us)",
+            Box::new(|d| d.predicted_overhead_us()),
+        ),
+        ("DMA bandwidth (MB/s)", Box::new(|d| d.dma_bw_mbs)),
+        (
+            "Network latency (us)",
+            Box::new(|d| d.machine.net_latency_us),
+        ),
+        ("Network bandwidth (MB/s)", Box::new(|d| d.net_bw_mbs)),
+        (
+            "Pin + unpin per page (us)",
+            Box::new(|d| d.pin_us + d.unpin_us),
+        ),
+    ];
+    for (name, f) in rows {
+        print!("{name:<34}");
+        for d in &ALL_DESIGN_POINTS {
+            print!(" {:>7.2}", f(d));
+        }
+        println!();
+    }
+}

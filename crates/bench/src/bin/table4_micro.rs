@@ -1,0 +1,42 @@
+//! Regenerates Table 4: micro-benchmark measurements of raw machine
+//! performance for the six design points, next to the paper's values.
+
+use mproxy_am::micro::am_roundtrip_us;
+use mproxy_bench::row;
+use mproxy_model::{paper_table4, ALL_DESIGN_POINTS};
+
+fn main() {
+    println!("Table 4 (simulated | paper). Latencies in us, bandwidth in MB/s.\n");
+    let header: Vec<String> = ALL_DESIGN_POINTS
+        .iter()
+        .map(|d| d.name.to_string())
+        .collect();
+    println!("{:<12} {:>17}", "", header.join("            "));
+    let mut sims = Vec::new();
+    for d in ALL_DESIGN_POINTS {
+        let m = mproxy::micro::run_micro(d);
+        let am = am_roundtrip_us(d, 16);
+        sims.push((m, am));
+    }
+    let paper: Vec<_> = ALL_DESIGN_POINTS
+        .iter()
+        .map(|d| paper_table4(d.name).expect("paper row"))
+        .collect();
+    let print_row = |name: &str, sim: &dyn Fn(usize) -> f64, pap: &dyn Fn(usize) -> f64| {
+        let cells: Vec<f64> = (0..6).flat_map(|i| [sim(i), pap(i)]).collect();
+        println!("{}", row(name, &cells));
+    };
+    println!("{:<12} {}", "", "   sim    paper".repeat(6));
+    print_row("PUT latency*", &|i| sims[i].0.put_rt_us, &|i| {
+        paper[i].put_rt_us
+    });
+    print_row("GET latency", &|i| sims[i].0.get_us, &|i| paper[i].get_us);
+    print_row("PUT+sync ovh", &|i| sims[i].0.overhead_us, &|i| {
+        paper[i].overhead_us
+    });
+    print_row("AM latency*", &|i| sims[i].1, &|i| paper[i].am_rt_us);
+    print_row("Peak BW", &|i| sims[i].0.peak_bw_mbs, &|i| {
+        paper[i].peak_bw_mbs
+    });
+    println!("\n* round-trip");
+}

@@ -1,0 +1,33 @@
+//! Regenerates Table 6: average application message sizes, per-processor
+//! message rates, and communication-interface utilisation on 16
+//! processors, for HW1 (adapter logic) and MP1 (message proxy).
+
+use mproxy_apps::{run_app_flat, AppId, AppSize};
+use mproxy_model::{HW1, MP1, SW1};
+
+fn main() {
+    println!(
+        "{:<12} {:>6} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8} | {:>9}",
+        "app", "bytes", "HW1 op/ms", "HW1 util%", "", "MP1 op/ms", "MP1 util%", "", "SW1 op/ms"
+    );
+    println!("{}", "-".repeat(100));
+    for app in AppId::ALL {
+        let hw = run_app_flat(app, HW1, 16, AppSize::Small);
+        let mp = run_app_flat(app, MP1, 16, AppSize::Small);
+        let sw = run_app_flat(app, SW1, 16, AppSize::Small);
+        println!(
+            "{:<12} {:>6.0} | {:>9.2} {:>9.1} {:>8} | {:>9.2} {:>9.1} {:>8} | {:>9.2}",
+            app.name(),
+            mp.traffic.avg_msg_bytes,
+            hw.traffic.msg_rate_per_ms,
+            hw.traffic.interface_utilization * 100.0,
+            "",
+            mp.traffic.msg_rate_per_ms,
+            mp.traffic.interface_utilization * 100.0,
+            "",
+            sw.traffic.msg_rate_per_ms,
+        );
+    }
+    println!("\npaper reference points: Moldy 6456 B @ 0.43 op/ms (2.0%/4.1%),");
+    println!("P-Ray 29 B @ 0.88 op/ms (1.9%), Wator 40 B @ 19.0/14.5 op/ms (5.5%/25.7%)");
+}

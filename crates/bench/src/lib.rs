@@ -1,0 +1,45 @@
+//! # mproxy-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's experiment
+//! index):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table2_trace` | Tables 1–2: primitives and the GET/PUT critical path |
+//! | `table3_design_points` | Table 3: the six design-point parameter sets |
+//! | `table4_micro` | Table 4: micro-benchmarks vs the paper's values |
+//! | `fig7_pingpong` | Figure 7: latency/bandwidth vs message size |
+//! | `fig8_speedups` | Figure 8: application speedups, 1–16 processors |
+//! | `table6_traffic` | Table 6: message sizes, rates, interface utilisation |
+//! | `fig9_contention` | Figure 9: 4 nodes × 4 compute processors |
+//! | `sec54_contention` | §5.4: proxy-contention queueing analysis |
+//!
+//! Criterion benches (`cargo bench`) measure the *real* threaded runtime
+//! (`runtime_latency`) and the simulator's own execution speed
+//! (`sim_micro`).
+
+/// Formats one results row: name then aligned float columns.
+#[must_use]
+pub fn row(name: &str, values: &[f64]) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{name:<12}");
+    for v in values {
+        let _ = if *v >= 100.0 {
+            write!(s, " {v:>8.1}")
+        } else {
+            write!(s, " {v:>8.2}")
+        };
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn row_formats_aligned() {
+        let s = super::row("GET", &[9.5, 150.0]);
+        assert!(s.starts_with("GET"));
+        assert!(s.contains("9.50"));
+        assert!(s.contains("150.0"));
+    }
+}

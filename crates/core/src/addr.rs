@@ -1,0 +1,117 @@
+//! Identifiers of the communication model (Section 3).
+//!
+//! Remote addresses are named relative to an *address-space identifier*
+//! (`asid`), "a logical identifier that maps to a memory segment in some
+//! process within the SMP cluster"; remote queues are named by queue ids
+//! within an asid; completion flags are named flag slots within an asid.
+
+use core::fmt;
+
+/// Global rank of a user process in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+/// Logical address-space identifier (Section 3). Each user process owns
+/// exactly one address space; the mapping is fixed at initialisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asid(pub u32);
+
+impl From<ProcId> for Asid {
+    fn from(p: ProcId) -> Asid {
+        Asid(p.0)
+    }
+}
+
+impl From<Asid> for ProcId {
+    fn from(a: Asid) -> ProcId {
+        ProcId(a.0)
+    }
+}
+
+/// A byte offset within an address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Offsets the address by `bytes`.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// Offsets the address by `index` elements of `elem_bytes` each.
+    #[must_use]
+    pub fn index(self, index: u64, elem_bytes: u64) -> Addr {
+        Addr(self.0 + index * elem_bytes)
+    }
+}
+
+/// A remote queue identifier within an address space (Section 3, RQ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RqId(pub u32);
+
+/// A synchronisation-flag slot within an address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlagId(pub u32);
+
+/// A fully qualified remote flag: which process, which flag slot. Used as
+/// the `rsync` argument of PUT/GET/ENQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteFlag {
+    /// The process whose flag is set.
+    pub proc: ProcId,
+    /// The flag slot within that process.
+    pub flag: FlagId,
+}
+
+/// A fully qualified remote queue: which process, which queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteQueue {
+    /// The process owning the queue.
+    pub proc: ProcId,
+    /// The queue id within that process.
+    pub rq: RqId,
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asid{}", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asid_proc_round_trip() {
+        assert_eq!(Asid::from(ProcId(7)), Asid(7));
+        assert_eq!(ProcId::from(Asid(3)), ProcId(3));
+    }
+
+    #[test]
+    fn addr_arithmetic() {
+        let a = Addr(16);
+        assert_eq!(a.offset(8), Addr(24));
+        assert_eq!(a.index(3, 8), Addr(40));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcId(2).to_string(), "p2");
+        assert_eq!(Addr(255).to_string(), "0xff");
+        assert_eq!(Asid(1).to_string(), "asid1");
+    }
+}

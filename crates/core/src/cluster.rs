@@ -1,0 +1,495 @@
+//! The SMP cluster fabric: nodes, processes, engines, permissions, stats.
+//!
+//! A [`Cluster`] wires `nodes` SMP nodes — each with `procs_per_node`
+//! compute processors, a network adapter, and a DMA engine — to a switch,
+//! and starts the protected-communication engine the chosen
+//! [`DesignPoint`] calls for: a message-proxy task per node, a
+//! custom-hardware adapter task per node, or the system-call send path
+//! plus per-node interrupt dispatch.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+use std::future::Future;
+use std::rc::Rc;
+
+use mproxy_des::{Channel, Counter, Dur, Resource, SimCtx, SimTime, Tally};
+use mproxy_model::{Arch, DesignPoint};
+use mproxy_simnet::{DmaEngine, DmaParams, LinkParams, NetPort, Network, NodeId};
+
+use crate::addr::{Asid, ProcId};
+use crate::engine::{self, ProxyInput, WireMsg};
+use crate::mem::Memory;
+use crate::process::Proc;
+
+/// Shape and technology of a simulated cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Technology design point (HW0 ... SW1).
+    pub design: DesignPoint,
+    /// Number of SMP nodes.
+    pub nodes: usize,
+    /// Compute processors per node (the proxy processor, where present, is
+    /// in addition to these).
+    pub procs_per_node: usize,
+    /// If true (default), every process may access every address space;
+    /// protection tests set this false and grant selectively.
+    pub allow_all: bool,
+    /// Nanoseconds of compute time per application work unit, calibrating
+    /// the deterministic compute model (stands in for the paper's POWER2
+    /// real-time-clock measurement).
+    pub work_unit_ns: u64,
+}
+
+impl ClusterSpec {
+    /// A spec with the defaults used throughout the evaluation: allow-all
+    /// protection and 20 ns per work unit.
+    #[must_use]
+    pub fn new(design: DesignPoint, nodes: usize, procs_per_node: usize) -> Self {
+        ClusterSpec {
+            design,
+            nodes,
+            procs_per_node,
+            allow_all: true,
+            work_unit_ns: 20,
+        }
+    }
+
+    /// Total user processes.
+    #[must_use]
+    pub fn nprocs(&self) -> usize {
+        self.nodes * self.procs_per_node
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("cluster needs at least one node".into());
+        }
+        if self.procs_per_node == 0 {
+            return Err("nodes need at least one compute processor".into());
+        }
+        self.design.machine.validate()
+    }
+}
+
+/// Per-process traffic statistics (inputs to Table 6).
+#[derive(Debug, Default, Clone)]
+pub struct ProcStats {
+    /// RMA/RQ operations submitted.
+    pub ops: u64,
+    /// Payload bytes moved by submitted operations.
+    pub bytes: u64,
+    /// Distribution of operation payload sizes.
+    pub msg_sizes: Tally,
+    /// Protection faults observed (denied submissions).
+    pub faults: u64,
+}
+
+pub(crate) struct ProcState {
+    #[allow(dead_code)]
+    pub(crate) id: ProcId,
+    pub(crate) node: NodeId,
+    pub(crate) mem: RefCell<Memory>,
+    pub(crate) flags: RefCell<Vec<Counter>>,
+    pub(crate) queues: RefCell<Vec<Channel<bytes::Bytes>>>,
+    pub(crate) next_flag: Cell<u32>,
+    pub(crate) next_queue: Cell<u32>,
+    pub(crate) cpu: Resource,
+    pub(crate) stats: RefCell<ProcStats>,
+}
+
+pub(crate) struct NodeState {
+    pub(crate) id: NodeId,
+    /// Merged engine input: user commands and arriving packets (the proxy
+    /// and the custom-hardware adapter logic both poll this).
+    pub(crate) proxy_input: Channel<ProxyInput>,
+    pub(crate) dma: DmaEngine,
+    pub(crate) port: NetPort<WireMsg>,
+    /// Busy time of the node's communication agent (proxy or adapter
+    /// protocol logic) — numerator of Table 6's interface utilisation.
+    pub(crate) engine_busy: Cell<Dur>,
+    pub(crate) engine_ops: Cell<u64>,
+    pub(crate) ccbs: RefCell<std::collections::HashMap<u64, engine::Ccb>>,
+    pub(crate) next_token: Cell<u64>,
+}
+
+impl NodeState {
+    pub(crate) fn new_token(&self) -> u64 {
+        let t = self.next_token.get();
+        self.next_token.set(t + 1);
+        t
+    }
+
+    pub(crate) fn add_busy(&self, d: Dur) {
+        self.engine_busy.set(self.engine_busy.get() + d);
+        self.engine_ops.set(self.engine_ops.get() + 1);
+    }
+}
+
+pub(crate) struct ClusterState {
+    pub(crate) spec: ClusterSpec,
+    pub(crate) ctx: SimCtx,
+    pub(crate) procs: Vec<Rc<ProcState>>,
+    pub(crate) nodes: Vec<Rc<NodeState>>,
+    pub(crate) perms: RefCell<HashSet<(ProcId, Asid)>>,
+    pub(crate) allow_all: Cell<bool>,
+    pub(crate) app_done: Counter,
+    pub(crate) started: SimTime,
+}
+
+impl ClusterState {
+    pub(crate) fn design(&self) -> &DesignPoint {
+        &self.spec.design
+    }
+
+    pub(crate) fn allowed(&self, src: ProcId, target: Asid) -> bool {
+        if src == ProcId::from(target) {
+            return true;
+        }
+        self.allow_all.get() || self.perms.borrow().contains(&(src, target))
+    }
+
+    pub(crate) fn proc(&self, id: ProcId) -> &Rc<ProcState> {
+        &self.procs[id.0 as usize]
+    }
+
+    pub(crate) fn node_of(&self, id: ProcId) -> &Rc<NodeState> {
+        &self.nodes[self.procs[id.0 as usize].node]
+    }
+}
+
+/// Aggregate traffic and utilisation report (Table 6).
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// Total RMA/RQ operations across all processes.
+    pub total_ops: u64,
+    /// Total payload bytes.
+    pub total_bytes: u64,
+    /// Average message (payload) size, bytes.
+    pub avg_msg_bytes: f64,
+    /// Per-processor message rate, operations per millisecond.
+    pub msg_rate_per_ms: f64,
+    /// Mean utilisation of the per-node communication agent (message proxy
+    /// for MP points, adapter message logic for HW points, n/a-as-zero for
+    /// SW points' inline kernel path).
+    pub interface_utilization: f64,
+    /// Elapsed simulated time the report covers.
+    pub elapsed: Dur,
+}
+
+/// A simulated SMP cluster at one design point.
+///
+/// # Examples
+///
+/// ```
+/// use mproxy::{Cluster, ClusterSpec};
+/// use mproxy_des::Simulation;
+/// use mproxy_model::MP1;
+///
+/// let sim = Simulation::new();
+/// let cluster = Cluster::new(&sim.ctx(), ClusterSpec::new(MP1, 2, 1)).unwrap();
+/// cluster.spawn_spmd(|p| async move {
+///     let a = p.alloc(8);
+///     p.ctx().yield_now().await; // all ranks allocate first
+///     if p.rank().0 == 0 {
+///         p.write_u64(a, 42);
+///         let f = p.new_flag();
+///         p.put(a, mproxy::Asid(1), a, 8, Some(&f), None).await.unwrap();
+///         p.wait_flag(&f, 1).await;
+///     }
+/// });
+/// let report = cluster.run(&sim);
+/// assert!(report.completed_cleanly());
+/// ```
+pub struct Cluster {
+    state: Rc<ClusterState>,
+}
+
+impl Cluster {
+    /// Builds the cluster and starts its engine tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ClusterSpec::validate`] message if the spec is
+    /// invalid.
+    pub fn new(ctx: &SimCtx, spec: ClusterSpec) -> Result<Cluster, String> {
+        spec.validate()?;
+        let d = spec.design;
+        let link = LinkParams::new(d.machine.net_latency_us, d.net_bw_mbs);
+        let network: Network<WireMsg> = Network::new(ctx, spec.nodes, link);
+        let dma_params = DmaParams::new(d.dma_bw_mbs, d.pin_us, d.unpin_us, d.page_bytes);
+
+        let nodes: Vec<Rc<NodeState>> = (0..spec.nodes)
+            .map(|n| {
+                Rc::new(NodeState {
+                    id: n,
+                    proxy_input: Channel::unbounded(),
+                    dma: DmaEngine::new(ctx, n, dma_params),
+                    port: network.adapter(n),
+                    engine_busy: Cell::new(Dur::ZERO),
+                    engine_ops: Cell::new(0),
+                    ccbs: RefCell::new(std::collections::HashMap::new()),
+                    next_token: Cell::new(0),
+                })
+            })
+            .collect();
+
+        let procs: Vec<Rc<ProcState>> = (0..spec.nprocs())
+            .map(|r| {
+                let node = r / spec.procs_per_node;
+                Rc::new(ProcState {
+                    id: ProcId(r as u32),
+                    node,
+                    mem: RefCell::new(Memory::new()),
+                    flags: RefCell::new(Vec::new()),
+                    queues: RefCell::new(Vec::new()),
+                    next_flag: Cell::new(0),
+                    next_queue: Cell::new(0),
+                    cpu: Resource::new(ctx, format!("cpu[{r}]"), 1),
+                    stats: RefCell::new(ProcStats::default()),
+                })
+            })
+            .collect();
+
+        let state = Rc::new(ClusterState {
+            allow_all: Cell::new(spec.allow_all),
+            spec,
+            ctx: ctx.clone(),
+            procs,
+            nodes,
+            perms: RefCell::new(HashSet::new()),
+            app_done: Counter::new(),
+            started: ctx.now(),
+        });
+
+        // Start the per-node communication agents.
+        for node in &state.nodes {
+            match d.arch {
+                Arch::MessageProxy => {
+                    ctx.spawn(engine::proxy::proxy_main(
+                        Rc::clone(node),
+                        Rc::clone(&state),
+                    ));
+                    // Forward arriving packets into the proxy's merged input.
+                    ctx.spawn(engine::forward_rx(
+                        node.port.clone(),
+                        node.proxy_input.clone(),
+                    ));
+                }
+                Arch::CustomHardware => {
+                    ctx.spawn(engine::hardware::adapter_main(
+                        Rc::clone(node),
+                        Rc::clone(&state),
+                    ));
+                    ctx.spawn(engine::forward_rx(
+                        node.port.clone(),
+                        node.proxy_input.clone(),
+                    ));
+                }
+                Arch::SystemCall => {
+                    ctx.spawn(engine::syscall::dispatch_main(
+                        Rc::clone(node),
+                        Rc::clone(&state),
+                    ));
+                }
+            }
+        }
+
+        Ok(Cluster { state })
+    }
+
+    /// Number of user processes.
+    #[must_use]
+    pub fn nprocs(&self) -> usize {
+        self.state.spec.nprocs()
+    }
+
+    /// The spec this cluster was built from.
+    #[must_use]
+    pub fn spec(&self) -> ClusterSpec {
+        self.state.spec
+    }
+
+    /// A handle to process `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn proc(&self, rank: ProcId) -> Proc {
+        assert!(
+            (rank.0 as usize) < self.nprocs(),
+            "rank {rank} out of range"
+        );
+        Proc::new(Rc::clone(&self.state), rank)
+    }
+
+    /// Spawns the same async body on every process (SPMD style). The
+    /// cluster tracks completion; [`Cluster::run`] shuts the engines down
+    /// once every body finishes.
+    pub fn spawn_spmd<F, Fut>(&self, body: F)
+    where
+        F: Fn(Proc) -> Fut,
+        Fut: Future<Output = ()> + 'static,
+    {
+        for r in 0..self.nprocs() {
+            self.spawn_on(ProcId(r as u32), &body);
+        }
+    }
+
+    /// Spawns an async body on one process.
+    pub fn spawn_on<F, Fut>(&self, rank: ProcId, body: F)
+    where
+        F: Fn(Proc) -> Fut,
+        Fut: Future<Output = ()> + 'static,
+    {
+        let p = self.proc(rank);
+        let done = self.state.app_done.clone();
+        let fut = body(p);
+        self.state.ctx.spawn(async move {
+            fut.await;
+            done.incr();
+        });
+    }
+
+    /// Runs the simulation until every spawned process body has finished,
+    /// then shuts down the engine tasks and drains remaining events.
+    ///
+    /// Returns the underlying [`mproxy_des::RunReport`].
+    pub fn run(&self, sim: &mproxy_des::Simulation) -> mproxy_des::RunReport {
+        let state = Rc::clone(&self.state);
+        let expected = self.nprocs() as u64;
+        self.state.ctx.spawn(async move {
+            state.app_done.wait_for(expected).await;
+            for node in &state.nodes {
+                node.proxy_input.close();
+                node.port.rx_fifo().close();
+            }
+        });
+        sim.run()
+    }
+
+    /// Grants `src` access to address space `target` (used with
+    /// `allow_all = false`).
+    pub fn grant(&self, src: ProcId, target: Asid) {
+        self.state.perms.borrow_mut().insert((src, target));
+    }
+
+    /// Revokes a grant.
+    pub fn revoke(&self, src: ProcId, target: Asid) {
+        self.state.perms.borrow_mut().remove(&(src, target));
+    }
+
+    /// Busy time (µs) of the compute processor running `rank`, from the
+    /// start of the simulation. With no explicit compute phases this is
+    /// pure communication overhead.
+    #[must_use]
+    pub fn cpu_busy_us(&self, rank: ProcId) -> f64 {
+        let ps = &self.state.procs[rank.0 as usize];
+        ps.cpu.busy_us(self.state.ctx.now())
+    }
+
+    /// Per-process statistics snapshot.
+    #[must_use]
+    pub fn proc_stats(&self, rank: ProcId) -> ProcStats {
+        self.state.procs[rank.0 as usize].stats.borrow().clone()
+    }
+
+    /// Aggregate Table 6-style traffic report over the elapsed run.
+    #[must_use]
+    pub fn traffic_report(&self) -> TrafficReport {
+        let now = self.state.ctx.now();
+        let elapsed = now.since(self.state.started);
+        let mut total_ops = 0;
+        let mut total_bytes = 0;
+        let mut sizes = Tally::new();
+        for p in &self.state.procs {
+            let s = p.stats.borrow();
+            total_ops += s.ops;
+            total_bytes += s.bytes;
+            sizes.merge(&s.msg_sizes);
+        }
+        let elapsed_ms = elapsed.as_us() / 1_000.0;
+        let per_proc_rate = if elapsed_ms > 0.0 {
+            total_ops as f64 / elapsed_ms / self.nprocs() as f64
+        } else {
+            0.0
+        };
+        let util = if elapsed.is_zero() {
+            0.0
+        } else {
+            let busy: f64 = self
+                .state
+                .nodes
+                .iter()
+                .map(|n| n.engine_busy.get().as_us())
+                .sum();
+            busy / elapsed.as_us() / self.state.nodes.len() as f64
+        };
+        TrafficReport {
+            total_ops,
+            total_bytes,
+            avg_msg_bytes: sizes.mean(),
+            msg_rate_per_ms: per_proc_rate,
+            interface_utilization: util,
+            elapsed,
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("design", &self.state.spec.design.name)
+            .field("nodes", &self.state.spec.nodes)
+            .field("procs_per_node", &self.state.spec.procs_per_node)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mproxy_model::{MP1, MP2};
+
+    #[test]
+    fn spec_validation_rejects_degenerate_shapes() {
+        assert!(ClusterSpec::new(MP1, 0, 1).validate().is_err());
+        assert!(ClusterSpec::new(MP1, 1, 0).validate().is_err());
+        assert!(ClusterSpec::new(MP1, 2, 2).validate().is_ok());
+        let sim = mproxy_des::Simulation::new();
+        assert!(Cluster::new(&sim.ctx(), ClusterSpec::new(MP1, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn nprocs_and_spec_accessors() {
+        let sim = mproxy_des::Simulation::new();
+        let c = Cluster::new(&sim.ctx(), ClusterSpec::new(MP2, 3, 2)).unwrap();
+        assert_eq!(c.nprocs(), 6);
+        assert_eq!(c.spec().design.name, "MP2");
+        assert_eq!(c.proc(crate::ProcId(5)).node(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn proc_handle_bounds_checked() {
+        let sim = mproxy_des::Simulation::new();
+        let c = Cluster::new(&sim.ctx(), ClusterSpec::new(MP1, 1, 1)).unwrap();
+        let _ = c.proc(crate::ProcId(7));
+    }
+
+    #[test]
+    fn traffic_report_empty_run_is_zeroes() {
+        let sim = mproxy_des::Simulation::new();
+        let c = Cluster::new(&sim.ctx(), ClusterSpec::new(MP1, 2, 1)).unwrap();
+        c.spawn_spmd(|_| async {});
+        let _ = c.run(&sim);
+        let t = c.traffic_report();
+        assert_eq!(t.total_ops, 0);
+        assert_eq!(t.avg_msg_bytes, 0.0);
+    }
+}

@@ -1,0 +1,423 @@
+//! The system-call engine (Section 2, "System-Level Communication").
+//!
+//! Outgoing operations cross the user/kernel boundary with a system call
+//! and execute the protocol on the *compute* processor; incoming messages
+//! raise an interrupt on the target process's compute processor. Both
+//! steal compute cycles — the reason the paper finds 37–100% slowdowns on
+//! latency-bound applications despite its very aggressive 6.5 µs
+//! syscall/interrupt assumption. Locking costs (needed on a real SMP
+//! kernel) are *not* charged, matching the paper's favourable-to-SW1 bias.
+
+use std::rc::Rc;
+
+use mproxy_des::Dur;
+
+use crate::addr::{ProcId, RemoteQueue};
+use crate::cluster::{ClusterState, NodeState};
+use crate::engine::{
+    charge, lines, queue_channel, read_mem, set_flag, write_mem, Ccb, Command, WireMsg,
+    DEQ_RETRY_US,
+};
+
+struct Costs {
+    sys: f64,  // system-call overhead
+    intr: f64, // interrupt overhead
+    kp: f64,   // in-kernel protocol work per crossing
+    c: f64,    // cache miss
+    u: f64,    // uncached FIFO access
+}
+
+impl Costs {
+    fn of(cs: &ClusterState) -> Costs {
+        let d = cs.design();
+        Costs {
+            sys: d.syscall_us,
+            intr: d.interrupt_us,
+            kp: d.kernel_proto_us,
+            c: d.machine.cache_miss_us,
+            u: d.machine.uncached_us,
+        }
+    }
+}
+
+/// User-side submission: runs on (and charges) the calling process's
+/// compute processor. The caller already holds that CPU.
+pub(crate) async fn user_submit(node: &Rc<NodeState>, cs: &Rc<ClusterState>, cmd: Command) {
+    let k = Costs::of(cs);
+    // Kernel entry + protocol.
+    charge(cs, k.sys + k.kp).await;
+    let d = cs.design();
+    match cmd {
+        Command::Put {
+            src,
+            dst,
+            laddr,
+            raddr,
+            nbytes,
+            lsync,
+            rsync,
+            inline,
+        } => {
+            let dma = nbytes > d.pio_threshold_bytes;
+            let data = inline.unwrap_or_else(|| read_mem(cs, src, laddr, nbytes));
+            if dma {
+                node.dma.transfer(nbytes).await;
+            } else {
+                charge(cs, f64::from(lines(nbytes)) * (k.c + k.u)).await;
+            }
+            let ack = lsync.map(|_| {
+                let token = node.new_token();
+                node.ccbs
+                    .borrow_mut()
+                    .insert(token, Ccb::PutAck { proc: src, lsync });
+                (node.id, token)
+            });
+            let dst_node = cs.proc(dst).node;
+            node.port
+                .send(
+                    dst_node,
+                    WireMsg::PutData {
+                        dst,
+                        raddr,
+                        data,
+                        rsync,
+                        ack,
+                        dma,
+                    },
+                    0,
+                )
+                .await;
+        }
+        Command::Get {
+            src,
+            dst,
+            laddr,
+            raddr,
+            nbytes,
+            lsync,
+            rsync,
+        } => {
+            let dma = nbytes > d.pio_threshold_bytes;
+            let token = node.new_token();
+            node.ccbs.borrow_mut().insert(
+                token,
+                Ccb::Get {
+                    proc: src,
+                    laddr,
+                    lsync,
+                },
+            );
+            charge(cs, k.u).await;
+            let dst_node = cs.proc(dst).node;
+            node.port
+                .send(
+                    dst_node,
+                    WireMsg::GetReq {
+                        dst,
+                        raddr,
+                        nbytes,
+                        rsync,
+                        origin: node.id,
+                        token,
+                        dma,
+                    },
+                    0,
+                )
+                .await;
+        }
+        Command::Enq {
+            src,
+            dst,
+            rq,
+            laddr,
+            nbytes,
+            lsync,
+            rsync,
+            inline,
+        } => {
+            let data = inline.unwrap_or_else(|| read_mem(cs, src, laddr, nbytes));
+            charge(cs, f64::from(lines(nbytes)) * (k.c + k.u)).await;
+            let ack = lsync.map(|_| {
+                let token = node.new_token();
+                node.ccbs
+                    .borrow_mut()
+                    .insert(token, Ccb::PutAck { proc: src, lsync });
+                (node.id, token)
+            });
+            let dst_node = cs.proc(dst).node;
+            node.port
+                .send(
+                    dst_node,
+                    WireMsg::EnqData {
+                        dst,
+                        rq,
+                        data,
+                        rsync,
+                        ack,
+                    },
+                    0,
+                )
+                .await;
+        }
+        Command::Deq {
+            src,
+            dst,
+            rq,
+            laddr,
+            nbytes,
+            lsync,
+        } => {
+            let token = node.new_token();
+            node.ccbs.borrow_mut().insert(
+                token,
+                Ccb::Deq {
+                    proc: src,
+                    laddr,
+                    lsync,
+                    target: RemoteQueue { proc: dst, rq },
+                    nbytes,
+                },
+            );
+            charge(cs, k.u).await;
+            let dst_node = cs.proc(dst).node;
+            node.port
+                .send(
+                    dst_node,
+                    WireMsg::DeqReq {
+                        dst,
+                        rq,
+                        nbytes,
+                        origin: node.id,
+                        token,
+                    },
+                    0,
+                )
+                .await;
+        }
+    }
+}
+
+/// Per-node receive dispatcher: every arriving packet raises an interrupt
+/// on the compute processor of the process it concerns.
+pub(crate) async fn dispatch_main(node: Rc<NodeState>, cs: Rc<ClusterState>) {
+    let port = node.port.clone();
+    loop {
+        let Some(pkt) = port.recv().await else { break };
+        let node = Rc::clone(&node);
+        let cs2 = Rc::clone(&cs);
+        cs.ctx
+            .spawn(async move { handle_interrupt(&node, &cs2, pkt.message).await });
+    }
+}
+
+/// Which process's CPU takes the interrupt for a message.
+fn target_proc(node: &NodeState, msg: &WireMsg) -> Option<ProcId> {
+    match msg {
+        WireMsg::PutData { dst, .. }
+        | WireMsg::GetReq { dst, .. }
+        | WireMsg::EnqData { dst, .. }
+        | WireMsg::DeqReq { dst, .. } => Some(*dst),
+        WireMsg::GetReply { token, .. }
+        | WireMsg::DeqReply { token, .. }
+        | WireMsg::Ack { token } => match node.ccbs.borrow().get(token) {
+            Some(Ccb::Get { proc, .. })
+            | Some(Ccb::PutAck { proc, .. })
+            | Some(Ccb::Deq { proc, .. }) => Some(*proc),
+            None => None,
+        },
+    }
+}
+
+async fn handle_interrupt(node: &Rc<NodeState>, cs: &Rc<ClusterState>, msg: WireMsg) {
+    let k = Costs::of(cs);
+    let Some(proc) = target_proc(node, &msg) else {
+        debug_assert!(false, "interrupt for unknown CCB");
+        return;
+    };
+    // Steal the target's compute processor for the handler. The busy time
+    // is also accounted as communication-interface work for reporting.
+    let cpu = cs.proc(proc).cpu.clone();
+    let guard = cpu.acquire().await;
+    let start = cs.ctx.now();
+    charge(cs, k.intr + k.kp).await;
+    match msg {
+        WireMsg::PutData {
+            dst,
+            raddr,
+            data,
+            rsync,
+            ack,
+            dma,
+        } => {
+            if dma {
+                charge(cs, node.dma.params().pinning_us(data.len() as u32)).await;
+            } else {
+                charge(cs, f64::from(lines(data.len() as u32)) * (k.u + k.c)).await;
+            }
+            write_mem(cs, dst, raddr, &data);
+            if let Some(f) = rsync {
+                charge(cs, k.c).await;
+                set_flag(cs, dst, f);
+            }
+            if let Some((origin, token)) = ack {
+                charge(cs, k.u).await;
+                node.port.send(origin, WireMsg::Ack { token }, 0).await;
+            }
+        }
+        WireMsg::GetReq {
+            dst,
+            raddr,
+            nbytes,
+            rsync,
+            origin,
+            token,
+            dma,
+        } => {
+            let data = read_mem(cs, dst, raddr, nbytes);
+            if dma {
+                node.dma.transfer(nbytes).await;
+            } else {
+                charge(cs, f64::from(lines(nbytes)) * (k.c + k.u)).await;
+            }
+            if let Some(f) = rsync {
+                charge(cs, k.c).await;
+                set_flag(cs, dst, f);
+            }
+            node.port
+                .send(origin, WireMsg::GetReply { token, data, dma }, 0)
+                .await;
+        }
+        WireMsg::GetReply { token, data, dma } => {
+            let ccb = node.ccbs.borrow_mut().remove(&token);
+            if let Some(Ccb::Get { proc, laddr, lsync }) = ccb {
+                if dma {
+                    charge(cs, node.dma.params().pinning_us(data.len() as u32)).await;
+                } else {
+                    charge(cs, f64::from(lines(data.len() as u32)) * (k.u + k.c)).await;
+                }
+                write_mem(cs, proc, laddr, &data);
+                if let Some(f) = lsync {
+                    charge(cs, k.c).await;
+                    set_flag(cs, proc, f);
+                }
+            }
+        }
+        WireMsg::EnqData {
+            dst,
+            rq,
+            data,
+            rsync,
+            ack,
+        } => {
+            charge(cs, f64::from(lines(data.len() as u32)) * (k.u + k.c) + k.c).await;
+            let _ = queue_channel(cs.proc(dst), rq).try_send(data);
+            if let Some(f) = rsync {
+                charge(cs, k.c).await;
+                set_flag(cs, dst, f);
+            }
+            if let Some((origin, token)) = ack {
+                charge(cs, k.u).await;
+                node.port.send(origin, WireMsg::Ack { token }, 0).await;
+            }
+        }
+        WireMsg::DeqReq {
+            dst,
+            rq,
+            nbytes,
+            origin,
+            token,
+        } => {
+            let popped = queue_channel(cs.proc(dst), rq).try_recv();
+            match popped {
+                Some(data) => {
+                    charge(
+                        cs,
+                        k.c + f64::from(lines(nbytes.min(data.len() as u32))) * (k.c + k.u),
+                    )
+                    .await;
+                    node.port
+                        .send(
+                            origin,
+                            WireMsg::DeqReply {
+                                token,
+                                data: Some(data),
+                            },
+                            0,
+                        )
+                        .await;
+                }
+                None => {
+                    node.port
+                        .send(origin, WireMsg::DeqReply { token, data: None }, 0)
+                        .await;
+                }
+            }
+        }
+        WireMsg::DeqReply { token, data } => match data {
+            Some(data) => {
+                let ccb = node.ccbs.borrow_mut().remove(&token);
+                if let Some(Ccb::Deq {
+                    proc,
+                    laddr,
+                    lsync,
+                    nbytes,
+                    ..
+                }) = ccb
+                {
+                    let take = (data.len() as u32).min(nbytes) as usize;
+                    charge(cs, f64::from(lines(take as u32)) * (k.u + k.c)).await;
+                    write_mem(cs, proc, laddr, &data[..take]);
+                    if let Some(f) = lsync {
+                        charge(cs, k.c).await;
+                        set_flag(cs, proc, f);
+                    }
+                }
+            }
+            None => {
+                // Kernel timer re-issues the probe after a backoff.
+                let ctx = cs.ctx.clone();
+                let node = Rc::clone(node);
+                let cs2 = Rc::clone(cs);
+                cs.ctx.spawn(async move {
+                    ctx.delay(Dur::from_us(DEQ_RETRY_US)).await;
+                    let target = match node.ccbs.borrow().get(&token) {
+                        Some(Ccb::Deq { target, nbytes, .. }) => Some((*target, *nbytes)),
+                        _ => None,
+                    };
+                    let Some((target, nbytes)) = target else {
+                        return;
+                    };
+                    let kk = Costs::of(&cs2);
+                    let dst_node = cs2.proc(target.proc).node;
+                    ctx.delay(Dur::from_us(kk.kp)).await;
+                    node.port
+                        .send(
+                            dst_node,
+                            WireMsg::DeqReq {
+                                dst: target.proc,
+                                rq: target.rq,
+                                nbytes,
+                                origin: node.id,
+                                token,
+                            },
+                            0,
+                        )
+                        .await;
+                });
+            }
+        },
+        WireMsg::Ack { token } => {
+            let ccb = node.ccbs.borrow_mut().remove(&token);
+            if let Some(Ccb::PutAck {
+                proc,
+                lsync: Some(f),
+            }) = ccb
+            {
+                charge(cs, k.c).await;
+                set_flag(cs, proc, f);
+            }
+        }
+    }
+    node.add_busy(cs.ctx.now().since(start));
+    drop(guard);
+}

@@ -1,0 +1,94 @@
+//! Communication errors.
+
+use core::fmt;
+
+use crate::addr::{Addr, Asid, ProcId, RqId};
+
+/// Errors surfaced when submitting or validating a communication operation.
+///
+/// The paper's semantics: "the system faults a process that tries to access
+/// an address space without first getting permission to do so". In the
+/// simulator the fault is surfaced as an error at submission time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The submitting process has not been granted access to the target
+    /// address space.
+    PermissionDenied {
+        /// Who attempted the access.
+        src: ProcId,
+        /// The protected address space.
+        target: Asid,
+    },
+    /// The target address space does not exist.
+    UnknownAsid(Asid),
+    /// An address range falls outside its address space.
+    OutOfBounds {
+        /// The offending space.
+        asid: Asid,
+        /// Start of the attempted access.
+        addr: Addr,
+        /// Length of the attempted access.
+        nbytes: u32,
+        /// Size of the space.
+        size: u64,
+    },
+    /// The named remote queue does not exist in the target space.
+    UnknownQueue {
+        /// The space that was searched.
+        asid: Asid,
+        /// The missing queue.
+        rq: RqId,
+    },
+    /// A DEQ found the queue empty and was asked not to wait.
+    QueueEmpty(RqId),
+    /// A zero-byte transfer was requested where data is required.
+    EmptyTransfer,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PermissionDenied { src, target } => {
+                write!(f, "{src} has no permission to access {target}")
+            }
+            CommError::UnknownAsid(a) => write!(f, "no such address space: {a}"),
+            CommError::OutOfBounds {
+                asid,
+                addr,
+                nbytes,
+                size,
+            } => write!(
+                f,
+                "access [{addr}, +{nbytes}) exceeds {asid} of size {size}"
+            ),
+            CommError::UnknownQueue { asid, rq } => {
+                write!(f, "no queue {rq:?} in {asid}")
+            }
+            CommError::QueueEmpty(rq) => write!(f, "queue {rq:?} is empty"),
+            CommError::EmptyTransfer => write!(f, "zero-byte transfer"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = CommError::PermissionDenied {
+            src: ProcId(1),
+            target: Asid(2),
+        };
+        assert_eq!(e.to_string(), "p1 has no permission to access asid2");
+        let e = CommError::OutOfBounds {
+            asid: Asid(0),
+            addr: Addr(100),
+            nbytes: 8,
+            size: 64,
+        };
+        assert!(e.to_string().contains("exceeds asid0"));
+    }
+}

@@ -1,0 +1,601 @@
+//! The simulated-time async executor.
+//!
+//! Simulation *processes* (the user programs, message proxies, network
+//! adapters, DMA engines, ... of the paper's execution-driven simulator) are
+//! plain Rust futures. Awaiting a [`SimCtx::delay`] advances the process to
+//! a later simulated instant; awaiting a channel, signal or resource from
+//! [`crate::sync`] / [`crate::resource`] blocks it until another process
+//! acts. The executor is strictly deterministic: events fire in
+//! `(time, creation sequence)` order and ready tasks are polled FIFO.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{Dur, SimTime};
+
+/// Identifier of a spawned simulation task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(u64);
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// An entry in the event calendar: wake `waker` at instant `at`.
+struct TimedWake {
+    at: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimedWake {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimedWake {}
+impl PartialOrd for TimedWake {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimedWake {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// FIFO of tasks that are ready to be polled. Shared with wakers, which must
+/// be `Send + Sync` by contract even though the simulation is single-threaded.
+type ReadyQueue = Arc<Mutex<VecDeque<TaskId>>>;
+
+struct TaskWaker {
+    id: TaskId,
+    ready: ReadyQueue,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(self.id);
+    }
+}
+
+pub(crate) struct Core {
+    now: SimTime,
+    next_seq: u64,
+    calendar: BinaryHeap<Reverse<TimedWake>>,
+    ready: ReadyQueue,
+    tasks: HashMap<TaskId, Option<BoxFuture>>,
+    wakers: HashMap<TaskId, Waker>,
+    next_task: u64,
+    spawned: u64,
+    completed: u64,
+    events: u64,
+}
+
+impl Core {
+    fn new() -> Self {
+        Core {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            calendar: BinaryHeap::new(),
+            ready: Arc::new(Mutex::new(VecDeque::new())),
+            tasks: HashMap::new(),
+            wakers: HashMap::new(),
+            next_task: 0,
+            spawned: 0,
+            completed: 0,
+            events: 0,
+        }
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Registers a wakeup at `at` (clamped to be no earlier than now).
+    pub(crate) fn schedule(&mut self, at: SimTime, waker: Waker) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.calendar.push(Reverse(TimedWake { at, seq, waker }));
+    }
+
+    fn spawn(&mut self, fut: BoxFuture) -> TaskId {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        self.spawned += 1;
+        self.tasks.insert(id, Some(fut));
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.ready),
+        }));
+        self.wakers.insert(id, waker);
+        self.ready
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
+        id
+    }
+}
+
+/// A cloneable handle onto the running simulation, passed into every process.
+///
+/// `SimCtx` is how a process reads the clock, sleeps, and spawns further
+/// processes. It is cheap to clone and not `Send` (the engine is
+/// single-threaded and deterministic).
+///
+/// # Examples
+///
+/// ```
+/// use mproxy_des::{Dur, Simulation};
+///
+/// let sim = Simulation::new();
+/// let ctx = sim.ctx();
+/// sim.spawn(async move {
+///     ctx.delay(Dur::from_us(10.0)).await;
+///     assert_eq!(ctx.now().as_us(), 10.0);
+/// });
+/// let report = sim.run();
+/// assert!(report.completed_cleanly());
+/// ```
+#[derive(Clone)]
+pub struct SimCtx {
+    core: Rc<RefCell<Core>>,
+}
+
+impl SimCtx {
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now()
+    }
+
+    /// Returns a future that completes `d` later in simulated time.
+    #[must_use]
+    pub fn delay(&self, d: Dur) -> Delay {
+        Delay {
+            core: Rc::clone(&self.core),
+            at: None,
+            dur: d,
+        }
+    }
+
+    /// Returns a future that completes at instant `at` (immediately if in
+    /// the past).
+    #[must_use]
+    pub fn delay_until(&self, at: SimTime) -> Delay {
+        Delay {
+            core: Rc::clone(&self.core),
+            at: Some(at),
+            dur: Dur::ZERO,
+        }
+    }
+
+    /// Spawns a new simulation process.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        self.core.borrow_mut().spawn(Box::pin(fut))
+    }
+
+    /// Yields to any other ready process at the same instant.
+    ///
+    /// Useful for modelling an agent that re-checks state in the same cycle
+    /// after letting concurrent events land.
+    #[must_use]
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    pub(crate) fn core(&self) -> &Rc<RefCell<Core>> {
+        &self.core
+    }
+
+    pub(crate) fn from_core(core: Rc<RefCell<Core>>) -> Self {
+        SimCtx { core }
+    }
+}
+
+impl std::fmt::Debug for SimCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCtx").field("now", &self.now()).finish()
+    }
+}
+
+/// Future returned by [`SimCtx::delay`] and [`SimCtx::delay_until`].
+pub struct Delay {
+    core: Rc<RefCell<Core>>,
+    /// Resolved absolute deadline; computed on first poll for `delay`.
+    at: Option<SimTime>,
+    dur: Dur,
+}
+
+impl std::fmt::Debug for Delay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Delay")
+            .field("at", &self.at)
+            .field("dur", &self.dur)
+            .finish()
+    }
+}
+
+impl Future for Delay {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let now = self.core.borrow().now();
+        match self.at {
+            Some(at) if now >= at => Poll::Ready(()),
+            Some(_) => Poll::Pending,
+            None => {
+                let at = now + self.dur;
+                self.at = Some(at);
+                if now >= at {
+                    return Poll::Ready(());
+                }
+                self.core.borrow_mut().schedule(at, cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Future returned by [`SimCtx::yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Summary of a completed [`Simulation::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Simulated time when the run stopped.
+    pub end: SimTime,
+    /// Total processes spawned over the run.
+    pub spawned: u64,
+    /// Processes that ran to completion.
+    pub completed: u64,
+    /// Processes still pending when the run stopped (blocked forever unless
+    /// the run hit a time limit).
+    pub pending: u64,
+    /// Calendar events processed.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// True if every spawned process ran to completion.
+    #[must_use]
+    pub fn completed_cleanly(&self) -> bool {
+        self.pending == 0
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// # Examples
+///
+/// Two processes handing a token back and forth through a channel:
+///
+/// ```
+/// use mproxy_des::{Channel, Dur, Simulation};
+///
+/// let sim = Simulation::new();
+/// let ctx = sim.ctx();
+/// let ch: Channel<u32> = Channel::unbounded();
+///
+/// let (tx, rx) = (ch.clone(), ch);
+/// let ctx2 = ctx.clone();
+/// sim.spawn(async move {
+///     ctx2.delay(Dur::from_us(5.0)).await;
+///     tx.try_send(42).unwrap();
+/// });
+/// sim.spawn(async move {
+///     let v = rx.recv().await.unwrap();
+///     assert_eq!(v, 42);
+///     assert_eq!(ctx.now().as_us(), 5.0);
+/// });
+/// assert!(sim.run().completed_cleanly());
+/// ```
+pub struct Simulation {
+    core: Rc<RefCell<Core>>,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Simulation {
+            core: Rc::new(RefCell::new(Core::new())),
+        }
+    }
+
+    /// Returns a handle for spawning processes and reading the clock.
+    #[must_use]
+    pub fn ctx(&self) -> SimCtx {
+        SimCtx {
+            core: Rc::clone(&self.core),
+        }
+    }
+
+    /// Spawns a root process.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        self.core.borrow_mut().spawn(Box::pin(fut))
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now()
+    }
+
+    /// Runs until no process can make further progress.
+    pub fn run(&self) -> RunReport {
+        self.run_inner(None)
+    }
+
+    /// Runs until no process can make further progress or simulated time
+    /// would pass `limit`, whichever comes first.
+    pub fn run_until(&self, limit: SimTime) -> RunReport {
+        self.run_inner(Some(limit))
+    }
+
+    fn run_inner(&self, limit: Option<SimTime>) -> RunReport {
+        loop {
+            // Drain every task that is ready at the current instant.
+            loop {
+                let next = {
+                    let ready = Arc::clone(&self.core.borrow().ready);
+                    let popped = ready.lock().expect("ready queue poisoned").pop_front();
+                    popped
+                };
+                match next {
+                    Some(id) => self.poll_task(id),
+                    None => break,
+                }
+            }
+            // Advance the clock to the next calendar event.
+            let wake = {
+                let mut core = self.core.borrow_mut();
+                match core.calendar.peek() {
+                    Some(Reverse(tw)) if limit.is_none_or(|l| tw.at <= l) => {
+                        let Reverse(tw) = core.calendar.pop().expect("peeked");
+                        core.now = tw.at;
+                        core.events += 1;
+                        Some(tw.waker)
+                    }
+                    _ => None,
+                }
+            };
+            match wake {
+                Some(w) => w.wake(),
+                None => break,
+            }
+        }
+        let core = self.core.borrow();
+        RunReport {
+            end: core.now,
+            spawned: core.spawned,
+            completed: core.completed,
+            pending: core.spawned - core.completed,
+            events: core.events,
+        }
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Take the future out so the core is not borrowed while polling
+        // (the task will re-borrow it through its `SimCtx`).
+        let (fut, waker) = {
+            let mut core = self.core.borrow_mut();
+            let fut = match core.tasks.get_mut(&id) {
+                Some(slot) => match slot.take() {
+                    Some(f) => f,
+                    // Already being polled higher up the stack; impossible
+                    // single-threaded, but be defensive.
+                    None => return,
+                },
+                // Task already completed; stale wake.
+                None => return,
+            };
+            let waker = core.wakers.get(&id).expect("waker exists").clone();
+            (fut, waker)
+        };
+        let mut fut = fut;
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                let mut core = self.core.borrow_mut();
+                core.tasks.remove(&id);
+                core.wakers.remove(&id);
+                core.completed += 1;
+            }
+            Poll::Pending => {
+                self.core.borrow_mut().tasks.insert(id, Some(fut));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn empty_simulation_ends_at_zero() {
+        let sim = Simulation::new();
+        let r = sim.run();
+        assert_eq!(r.end, SimTime::ZERO);
+        assert!(r.completed_cleanly());
+        assert_eq!(r.events, 0);
+    }
+
+    #[test]
+    fn delay_advances_time() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            ctx.delay(Dur::from_us(3.5)).await;
+            ctx.delay(Dur::from_us(1.5)).await;
+            assert_eq!(ctx.now().as_us(), 5.0);
+        });
+        let r = sim.run();
+        assert_eq!(r.end.as_us(), 5.0);
+        assert!(r.completed_cleanly());
+    }
+
+    #[test]
+    fn events_fire_in_time_order_with_fifo_ties() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, us) in [(0u32, 5.0), (1, 2.0), (2, 5.0), (3, 1.0)] {
+            let ctx = ctx.clone();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                ctx.delay(Dur::from_us(us)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        // Ties (tasks 0 and 2, both at 5 us) resolve in spawn order.
+        assert_eq!(*order.borrow(), vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn spawned_tasks_run_at_spawn_time() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        let hit = Rc::new(Cell::new(0.0f64));
+        let hit2 = Rc::clone(&hit);
+        sim.spawn(async move {
+            ctx.delay(Dur::from_us(7.0)).await;
+            let inner_ctx = ctx.clone();
+            ctx.spawn(async move {
+                hit2.set(inner_ctx.now().as_us());
+            });
+        });
+        sim.run();
+        assert_eq!(hit.get(), 7.0);
+    }
+
+    #[test]
+    fn run_until_respects_limit() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            ctx.delay(Dur::from_us(100.0)).await;
+        });
+        let r = sim.run_until(SimTime::from_ns(10_000));
+        assert_eq!(r.pending, 1);
+        assert_eq!(r.end.as_us(), 0.0);
+        // Resuming finishes the task.
+        let r = sim.run();
+        assert!(r.completed_cleanly());
+        assert_eq!(r.end.as_us(), 100.0);
+    }
+
+    #[test]
+    fn zero_delay_completes_without_calendar_event() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            ctx.delay(Dur::ZERO).await;
+        });
+        let r = sim.run();
+        assert!(r.completed_cleanly());
+        assert_eq!(r.events, 0);
+    }
+
+    #[test]
+    fn yield_now_interleaves_same_instant_tasks() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let (o1, o2) = (Rc::clone(&order), Rc::clone(&order));
+        let ctx1 = ctx.clone();
+        sim.spawn(async move {
+            o1.borrow_mut().push("a1");
+            ctx1.yield_now().await;
+            o1.borrow_mut().push("a2");
+        });
+        sim.spawn(async move {
+            o2.borrow_mut().push("b1");
+            ctx.yield_now().await;
+            o2.borrow_mut().push("b2");
+        });
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn deadlocked_task_reported_pending() {
+        let sim = Simulation::new();
+        let ch: crate::Channel<u8> = crate::Channel::unbounded();
+        sim.spawn(async move {
+            let _ = ch.recv().await; // nobody ever sends
+        });
+        let r = sim.run();
+        assert_eq!(r.pending, 1);
+        assert!(!r.completed_cleanly());
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        fn run_once() -> (u64, u64, Vec<u32>) {
+            let sim = Simulation::new();
+            let ctx = sim.ctx();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..20u32 {
+                let ctx = ctx.clone();
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    ctx.delay(Dur::from_ns(u64::from(i % 7) * 100)).await;
+                    log.borrow_mut().push(i);
+                    ctx.delay(Dur::from_ns(u64::from(i % 3) * 50)).await;
+                    log.borrow_mut().push(i + 100);
+                });
+            }
+            let r = sim.run();
+            let log = Rc::try_unwrap(log).unwrap().into_inner();
+            (r.end.as_ns(), r.events, log)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

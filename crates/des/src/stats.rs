@@ -1,0 +1,230 @@
+//! Lightweight statistics accumulators used across the simulator
+//! (service times, queue lengths, resource utilisation — the numbers the
+//! paper reports in Table 6).
+
+use crate::time::{Dur, SimTime};
+
+/// Accumulates count / mean / min / max of a stream of samples.
+///
+/// # Examples
+///
+/// ```
+/// use mproxy_des::Tally;
+///
+/// let mut t = Tally::new();
+/// t.add(2.0);
+/// t.add(4.0);
+/// assert_eq!(t.mean(), 3.0);
+/// assert_eq!(t.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Tally {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        Tally::default()
+    }
+
+    /// Records a sample.
+    pub fn add(&mut self, x: f64) {
+        if self.n == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.n += 1;
+        self.sum += x;
+    }
+
+    /// Records a duration sample in microseconds.
+    pub fn add_dur(&mut self, d: Dur) {
+        self.add(d.as_us());
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of samples, or 0.0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Smallest sample, or 0.0 if empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0.0 if empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Integrates a piecewise-constant value over simulated time, yielding its
+/// time-weighted average (e.g. busy servers → utilisation).
+///
+/// # Examples
+///
+/// ```
+/// use mproxy_des::{SimTime, TimeWeighted};
+///
+/// let mut u = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// u.update(SimTime::from_ns(100), 1.0); // value was 0.0 for 100 ns
+/// u.update(SimTime::from_ns(300), 0.0); // value was 1.0 for 200 ns
+/// assert!((u.average(SimTime::from_ns(400)) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    integral: f64, // value · ns
+    last_t: SimTime,
+    last_v: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Starts integrating at `t0` with initial value `v0`.
+    #[must_use]
+    pub fn new(t0: SimTime, v0: f64) -> Self {
+        TimeWeighted {
+            integral: 0.0,
+            last_t: t0,
+            last_v: v0,
+            start: t0,
+        }
+    }
+
+    /// Records that the value changed to `v` at time `t`.
+    pub fn update(&mut self, t: SimTime, v: f64) {
+        self.integral += self.last_v * t.since(self.last_t).as_ns() as f64;
+        self.last_t = t;
+        self.last_v = v;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Time-weighted average over `[start, end]`.
+    #[must_use]
+    pub fn average(&self, end: SimTime) -> f64 {
+        let total = end.since(self.start).as_ns() as f64;
+        if total == 0.0 {
+            return self.last_v;
+        }
+        let tail = self.last_v * end.since(self.last_t).as_ns() as f64;
+        (self.integral + tail) / total
+    }
+
+    /// Integral of the value over time, in value · microseconds.
+    #[must_use]
+    pub fn integral_us(&self, end: SimTime) -> f64 {
+        (self.integral + self.last_v * end.since(self.last_t).as_ns() as f64) / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_basic_moments() {
+        let mut t = Tally::new();
+        for x in [5.0, 1.0, 3.0] {
+            t.add(x);
+        }
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.mean(), 3.0);
+        assert_eq!(t.min(), 1.0);
+        assert_eq!(t.max(), 5.0);
+        assert_eq!(t.sum(), 9.0);
+    }
+
+    #[test]
+    fn empty_tally_is_zeroes() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.min(), 0.0);
+        assert_eq!(t.max(), 0.0);
+    }
+
+    #[test]
+    fn tally_merge() {
+        let mut a = Tally::new();
+        a.add(1.0);
+        let mut b = Tally::new();
+        b.add(9.0);
+        b.add(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 9.0);
+        assert_eq!(a.min(), 1.0);
+        let mut empty = Tally::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn time_weighted_average_with_tail() {
+        let mut u = TimeWeighted::new(SimTime::ZERO, 2.0);
+        u.update(SimTime::from_ns(50), 4.0);
+        // [0,50): 2.0 ; [50,100): 4.0 → average 3.0
+        assert!((u.average(SimTime::from_ns(100)) - 3.0).abs() < 1e-12);
+        assert_eq!(u.value(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let u = TimeWeighted::new(SimTime::from_ns(10), 7.0);
+        assert_eq!(u.average(SimTime::from_ns(10)), 7.0);
+    }
+}

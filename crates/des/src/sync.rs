@@ -1,0 +1,704 @@
+//! Inter-process synchronisation primitives for simulation tasks.
+//!
+//! These mirror the shared-memory structures of the paper: [`Channel`]
+//! models FIFO queues (command queues, network FIFOs), [`Signal`] models a
+//! one-shot completion, and [`Counter`] models the lsync/rsync-style
+//! synchronisation flags and Split-C split-phase counters.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Error returned by [`Channel::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// The channel has been closed.
+    Closed(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Closed(v) => v,
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "channel is full"),
+            TrySendError::Closed(_) => write!(f, "channel is closed"),
+        }
+    }
+}
+
+struct ChanState<T> {
+    buf: VecDeque<T>,
+    capacity: Option<usize>,
+    closed: bool,
+    recv_wakers: VecDeque<Waker>,
+    send_wakers: VecDeque<Waker>,
+    /// High-water mark of queue occupancy, for contention statistics.
+    max_len: usize,
+    total_sent: u64,
+}
+
+impl<T> ChanState<T> {
+    fn wake_one_receiver(&mut self) {
+        if let Some(w) = self.recv_wakers.pop_front() {
+            w.wake();
+        }
+    }
+    fn wake_one_sender(&mut self) {
+        if let Some(w) = self.send_wakers.pop_front() {
+            w.wake();
+        }
+    }
+    fn wake_all(&mut self) {
+        for w in self.recv_wakers.drain(..).chain(self.send_wakers.drain(..)) {
+            w.wake();
+        }
+    }
+}
+
+/// A deterministic FIFO channel between simulation processes.
+///
+/// Cloning yields another handle to the same channel; the channel closes
+/// when [`Channel::close`] is called (all handles observe it).
+///
+/// # Examples
+///
+/// ```
+/// use mproxy_des::{Channel, Simulation};
+///
+/// let sim = Simulation::new();
+/// let ch = Channel::unbounded();
+/// let rx = ch.clone();
+/// sim.spawn(async move {
+///     ch.try_send("hello").unwrap();
+///     ch.close();
+/// });
+/// sim.spawn(async move {
+///     assert_eq!(rx.recv().await, Some("hello"));
+///     assert_eq!(rx.recv().await, None);
+/// });
+/// assert!(sim.run().completed_cleanly());
+/// ```
+pub struct Channel<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+impl<T> Clone for Channel<T> {
+    fn clone(&self) -> Self {
+        Channel {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Default for Channel<T> {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl<T> Channel<T> {
+    /// Creates a channel with no capacity limit.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self::with_state(None)
+    }
+
+    /// Creates a channel that holds at most `capacity` queued items;
+    /// [`Channel::send`] blocks while full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (rendezvous channels are not supported).
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "bounded channel capacity must be > 0");
+        Self::with_state(Some(capacity))
+    }
+
+    fn with_state(capacity: Option<usize>) -> Self {
+        Channel {
+            state: Rc::new(RefCell::new(ChanState {
+                buf: VecDeque::new(),
+                capacity,
+                closed: false,
+                recv_wakers: VecDeque::new(),
+                send_wakers: VecDeque::new(),
+                max_len: 0,
+                total_sent: 0,
+            })),
+        }
+    }
+
+    /// Attempts to enqueue without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySendError::Full`] if bounded and at capacity, or
+    /// [`TrySendError::Closed`] if the channel is closed.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut s = self.state.borrow_mut();
+        if s.closed {
+            return Err(TrySendError::Closed(value));
+        }
+        if let Some(cap) = s.capacity {
+            if s.buf.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        s.buf.push_back(value);
+        s.total_sent += 1;
+        s.max_len = s.max_len.max(s.buf.len());
+        s.wake_one_receiver();
+        Ok(())
+    }
+
+    /// Enqueues, waiting for space if the channel is bounded and full.
+    ///
+    /// Resolves to `false` if the channel closed before the value could be
+    /// enqueued (the value is dropped in that case).
+    pub fn send(&self, value: T) -> Send<'_, T> {
+        Send {
+            chan: self,
+            value: Some(value),
+        }
+    }
+
+    /// Dequeues, waiting until an item is available.
+    ///
+    /// Resolves to `None` once the channel is closed *and* drained.
+    pub fn recv(&self) -> Recv<'_, T> {
+        Recv { chan: self }
+    }
+
+    /// Attempts to dequeue without blocking.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut s = self.state.borrow_mut();
+        let v = s.buf.pop_front();
+        if v.is_some() {
+            s.wake_one_sender();
+        }
+        v
+    }
+
+    /// Closes the channel, waking all blocked processes.
+    pub fn close(&self) {
+        let mut s = self.state.borrow_mut();
+        s.closed = true;
+        s.wake_all();
+    }
+
+    /// Number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.borrow().buf.len()
+    }
+
+    /// True if no items are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if [`Channel::close`] has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.state.borrow().closed
+    }
+
+    /// Largest queue occupancy observed so far.
+    #[must_use]
+    pub fn max_len(&self) -> usize {
+        self.state.borrow().max_len
+    }
+
+    /// Total items ever enqueued.
+    #[must_use]
+    pub fn total_sent(&self) -> u64 {
+        self.state.borrow().total_sent
+    }
+}
+
+impl<T> fmt::Debug for Channel<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Channel")
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+/// Future returned by [`Channel::send`].
+pub struct Send<'a, T> {
+    chan: &'a Channel<T>,
+    value: Option<T>,
+}
+
+impl<T> Unpin for Send<'_, T> {}
+
+impl<T> Future for Send<'_, T> {
+    type Output = bool;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
+        let this = self.get_mut();
+        let value = this.value.take().expect("polled Send after completion");
+        match this.chan.try_send(value) {
+            Ok(()) => Poll::Ready(true),
+            Err(TrySendError::Closed(_)) => Poll::Ready(false),
+            Err(TrySendError::Full(v)) => {
+                this.value = Some(v);
+                this.chan
+                    .state
+                    .borrow_mut()
+                    .send_wakers
+                    .push_back(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Future returned by [`Channel::recv`].
+pub struct Recv<'a, T> {
+    chan: &'a Channel<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut s = self.chan.state.borrow_mut();
+        if let Some(v) = s.buf.pop_front() {
+            s.wake_one_sender();
+            return Poll::Ready(Some(v));
+        }
+        if s.closed {
+            return Poll::Ready(None);
+        }
+        s.recv_wakers.push_back(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+struct SignalState<T> {
+    value: Option<T>,
+    wakers: Vec<Waker>,
+}
+
+/// A one-shot broadcast value: set once, awaited by any number of processes.
+///
+/// Models completion notifications (e.g. a GET reply landing).
+///
+/// # Examples
+///
+/// ```
+/// use mproxy_des::{Dur, Signal, Simulation};
+///
+/// let sim = Simulation::new();
+/// let ctx = sim.ctx();
+/// let sig = Signal::new();
+/// let waiter = sig.clone();
+/// sim.spawn(async move {
+///     assert_eq!(waiter.wait().await, 7);
+/// });
+/// sim.spawn(async move {
+///     ctx.delay(Dur::from_us(1.0)).await;
+///     sig.set(7);
+/// });
+/// assert!(sim.run().completed_cleanly());
+/// ```
+pub struct Signal<T> {
+    state: Rc<RefCell<SignalState<T>>>,
+}
+
+impl<T> Clone for Signal<T> {
+    fn clone(&self) -> Self {
+        Signal {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Default for Signal<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Signal<T> {
+    /// Creates an unset signal.
+    #[must_use]
+    pub fn new() -> Self {
+        Signal {
+            state: Rc::new(RefCell::new(SignalState {
+                value: None,
+                wakers: Vec::new(),
+            })),
+        }
+    }
+
+    /// Sets the value and wakes all waiters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal was already set — a signal is one-shot.
+    pub fn set(&self, value: T) {
+        let mut s = self.state.borrow_mut();
+        assert!(s.value.is_none(), "Signal::set called twice");
+        s.value = Some(value);
+        for w in s.wakers.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// True once [`Signal::set`] has been called.
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        self.state.borrow().value.is_some()
+    }
+}
+
+impl<T: Clone> Signal<T> {
+    /// Waits for the signal, resolving to a clone of the value.
+    pub fn wait(&self) -> SignalWait<T> {
+        SignalWait {
+            state: Rc::clone(&self.state),
+        }
+    }
+
+    /// Returns the value if already set.
+    #[must_use]
+    pub fn get(&self) -> Option<T> {
+        self.state.borrow().value.clone()
+    }
+}
+
+impl<T> fmt::Debug for Signal<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Signal")
+            .field("set", &self.is_set())
+            .finish()
+    }
+}
+
+/// Future returned by [`Signal::wait`].
+pub struct SignalWait<T> {
+    state: Rc<RefCell<SignalState<T>>>,
+}
+
+impl<T: Clone> Future for SignalWait<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        match &s.value {
+            Some(v) => Poll::Ready(v.clone()),
+            None => {
+                s.wakers.push(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+struct CounterState {
+    count: u64,
+    waiters: Vec<(u64, Waker)>,
+}
+
+/// A monotonically increasing counter with threshold waits.
+///
+/// This is the shape of the paper's synchronisation flags: an agent
+/// (proxy, adapter, interrupt handler) *increments*; user code *waits* for
+/// a target count, which supports split-phase operation batches.
+///
+/// # Examples
+///
+/// ```
+/// use mproxy_des::{Counter, Simulation};
+///
+/// let sim = Simulation::new();
+/// let done = Counter::new();
+/// let waiter = done.clone();
+/// sim.spawn(async move {
+///     waiter.wait_for(2).await;
+/// });
+/// sim.spawn(async move {
+///     done.add(1);
+///     done.add(1);
+/// });
+/// assert!(sim.run().completed_cleanly());
+/// ```
+#[derive(Clone)]
+pub struct Counter {
+    state: Rc<RefCell<CounterState>>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter {
+            state: Rc::new(RefCell::new(CounterState {
+                count: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Adds `n`, waking any waiter whose threshold is now met.
+    pub fn add(&self, n: u64) {
+        let mut s = self.state.borrow_mut();
+        s.count += n;
+        let count = s.count;
+        let mut i = 0;
+        while i < s.waiters.len() {
+            if s.waiters[i].0 <= count {
+                let (_, w) = s.waiters.swap_remove(i);
+                w.wake();
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Increments by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.state.borrow().count
+    }
+
+    /// Waits until the counter reaches at least `target`.
+    pub fn wait_for(&self, target: u64) -> CounterWait {
+        CounterWait {
+            state: Rc::clone(&self.state),
+            target,
+        }
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Counter")
+            .field("count", &self.get())
+            .finish()
+    }
+}
+
+/// Future returned by [`Counter::wait_for`].
+pub struct CounterWait {
+    state: Rc<RefCell<CounterState>>,
+    target: u64,
+}
+
+impl Future for CounterWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut s = self.state.borrow_mut();
+        if s.count >= self.target {
+            Poll::Ready(())
+        } else {
+            s.waiters.push((self.target, cx.waker().clone()));
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dur, Simulation};
+    use std::cell::Cell;
+
+    #[test]
+    fn bounded_channel_blocks_sender() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        let ch = Channel::bounded(1);
+        let rx = ch.clone();
+        let sent_second_at = Rc::new(Cell::new(0.0));
+        let probe = Rc::clone(&sent_second_at);
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                assert!(ch.send(1).await);
+                assert!(ch.send(2).await); // blocks until receiver drains
+                probe.set(ctx.now().as_us());
+            }
+        });
+        sim.spawn(async move {
+            ctx.delay(Dur::from_us(4.0)).await;
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, Some(2));
+        });
+        assert!(sim.run().completed_cleanly());
+        assert_eq!(sent_second_at.get(), 4.0);
+    }
+
+    #[test]
+    fn try_send_full_and_closed() {
+        let ch = Channel::bounded(1);
+        ch.try_send(1).unwrap();
+        assert!(matches!(ch.try_send(2), Err(TrySendError::Full(2))));
+        ch.close();
+        assert!(matches!(ch.try_send(3), Err(TrySendError::Closed(3))));
+        assert_eq!(ch.try_recv(), Some(1));
+        assert_eq!(ch.try_recv(), None);
+    }
+
+    #[test]
+    fn recv_drains_after_close() {
+        let sim = Simulation::new();
+        let ch = Channel::unbounded();
+        ch.try_send(10).unwrap();
+        ch.try_send(20).unwrap();
+        ch.close();
+        sim.spawn(async move {
+            assert_eq!(ch.recv().await, Some(10));
+            assert_eq!(ch.recv().await, Some(20));
+            assert_eq!(ch.recv().await, None);
+        });
+        assert!(sim.run().completed_cleanly());
+    }
+
+    #[test]
+    fn channel_preserves_fifo_order_across_waiters() {
+        let sim = Simulation::new();
+        let ch = Channel::unbounded();
+        let out = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..3 {
+            let ch = ch.clone();
+            let out = Rc::clone(&out);
+            sim.spawn(async move {
+                while let Some(v) = ch.recv().await {
+                    out.borrow_mut().push(v);
+                }
+            });
+        }
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            for v in 0..9 {
+                ch.try_send(v).unwrap();
+                ctx.delay(Dur::from_ns(1)).await;
+            }
+            ch.close();
+        });
+        sim.run();
+        assert_eq!(*out.borrow(), (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn channel_stats_track_occupancy() {
+        let ch = Channel::unbounded();
+        ch.try_send(1).unwrap();
+        ch.try_send(2).unwrap();
+        ch.try_recv();
+        ch.try_send(3).unwrap();
+        assert_eq!(ch.max_len(), 2);
+        assert_eq!(ch.total_sent(), 3);
+        assert_eq!(ch.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be > 0")]
+    fn zero_capacity_rejected() {
+        let _ = Channel::<u8>::bounded(0);
+    }
+
+    #[test]
+    fn signal_wakes_multiple_waiters() {
+        let sim = Simulation::new();
+        let sig = Signal::new();
+        let n = Rc::new(Cell::new(0));
+        for _ in 0..3 {
+            let sig = sig.clone();
+            let n = Rc::clone(&n);
+            sim.spawn(async move {
+                assert_eq!(sig.wait().await, 99);
+                n.set(n.get() + 1);
+            });
+        }
+        sim.spawn(async move { sig.set(99) });
+        assert!(sim.run().completed_cleanly());
+        assert_eq!(n.get(), 3);
+    }
+
+    #[test]
+    fn signal_wait_after_set_is_immediate() {
+        let sim = Simulation::new();
+        let sig = Signal::new();
+        sig.set(5u8);
+        assert_eq!(sig.get(), Some(5));
+        sim.spawn(async move {
+            assert_eq!(sig.wait().await, 5);
+        });
+        assert!(sim.run().completed_cleanly());
+    }
+
+    #[test]
+    #[should_panic(expected = "set called twice")]
+    fn signal_double_set_panics() {
+        let sig = Signal::new();
+        sig.set(1);
+        sig.set(2);
+    }
+
+    #[test]
+    fn counter_threshold_waits() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        let c = Counter::new();
+        let times = Rc::new(RefCell::new(Vec::new()));
+        for target in [1u64, 3] {
+            let c = c.clone();
+            let ctx = ctx.clone();
+            let times = Rc::clone(&times);
+            sim.spawn(async move {
+                c.wait_for(target).await;
+                times.borrow_mut().push((target, ctx.now().as_us()));
+            });
+        }
+        let ctx2 = sim.ctx();
+        sim.spawn(async move {
+            for _ in 0..3 {
+                ctx2.delay(Dur::from_us(1.0)).await;
+                c.incr();
+            }
+        });
+        assert!(sim.run().completed_cleanly());
+        assert_eq!(*times.borrow(), vec![(1, 1.0), (3, 3.0)]);
+    }
+
+    #[test]
+    fn counter_wait_for_zero_is_immediate() {
+        let sim = Simulation::new();
+        let c = Counter::new();
+        sim.spawn(async move { c.wait_for(0).await });
+        assert!(sim.run().completed_cleanly());
+    }
+}

@@ -1,0 +1,121 @@
+//! LogGP parameter extraction.
+//!
+//! The LogGP model (Alexandrov et al.) summarises a communication system
+//! by latency `L`, per-message overhead `o`, gap `g`, and per-byte gap
+//! `G`. It is the lingua franca for comparing systems like the paper's
+//! design points: a message proxy trades a larger `L` for an `o` close to
+//! custom hardware's — exactly the §5.3 argument that overhead, not
+//! latency, drives application performance. This module fits LogGP
+//! parameters from the measurements the micro-benchmarks already produce.
+
+use serde::{Deserialize, Serialize};
+
+/// Fitted LogGP parameters (µs; `big_g` in µs/byte).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogGp {
+    /// End-to-end small-message latency minus both overheads.
+    pub l_us: f64,
+    /// Per-message processor overhead (send + receive averaged).
+    pub o_us: f64,
+    /// Minimum inter-message gap (1 / small-message rate).
+    pub g_us: f64,
+    /// Per-byte gap — the inverse of the saturated bandwidth.
+    pub big_g_us_per_byte: f64,
+}
+
+impl LogGp {
+    /// Predicted one-way time of an `n`-byte message under LogGP:
+    /// `o + (n-1)·G + L + o`.
+    #[must_use]
+    pub fn one_way_us(&self, nbytes: u32) -> f64 {
+        2.0 * self.o_us + self.l_us + (f64::from(nbytes.max(1)) - 1.0) * self.big_g_us_per_byte
+    }
+
+    /// Predicted saturated bandwidth, MB/s.
+    #[must_use]
+    pub fn peak_bandwidth_mbs(&self) -> f64 {
+        1.0 / self.big_g_us_per_byte.max(1e-12)
+    }
+}
+
+/// Fits LogGP from four standard measurements:
+///
+/// * `small_one_way_us` — one-way latency of a minimal message;
+/// * `overhead_us` — processor overhead of submitting + completing one
+///   operation (Table 4's "PUT+sync ovh");
+/// * `small_gap_us` — inverse throughput of back-to-back minimal messages;
+/// * `(big_bytes, big_one_way_us)` — one large-message one-way time.
+///
+/// # Examples
+///
+/// ```
+/// use mproxy_model::logp::fit;
+///
+/// // MP1-like numbers: 13 µs one-way, 3 µs overhead, 7 µs gap,
+/// // 256 KiB in 3160 µs.
+/// let p = fit(13.0, 3.0, 7.0, 262_144, 3160.0);
+/// assert!((p.o_us - 1.5).abs() < 1e-9);       // split across both ends
+/// assert!(p.l_us > 0.0);
+/// assert!((p.peak_bandwidth_mbs() - 83.2).abs() < 1.0);
+/// ```
+#[must_use]
+pub fn fit(
+    small_one_way_us: f64,
+    overhead_us: f64,
+    small_gap_us: f64,
+    big_bytes: u32,
+    big_one_way_us: f64,
+) -> LogGp {
+    // Overheads are reported as a single submit+complete figure; LogGP
+    // charges `o` at each end.
+    let o = overhead_us / 2.0;
+    let l = (small_one_way_us - 2.0 * o).max(0.0);
+    // G from the incremental cost of the large message over the small one.
+    let big_g =
+        ((big_one_way_us - small_one_way_us) / f64::from(big_bytes.max(2) - 1)).max(0.0);
+    LogGp {
+        l_us: l,
+        o_us: o,
+        g_us: small_gap_us,
+        big_g_us_per_byte: big_g,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_synthetic_parameters() {
+        let truth = LogGp {
+            l_us: 10.0,
+            o_us: 1.5,
+            g_us: 7.0,
+            big_g_us_per_byte: 0.0125,
+        };
+        let small = truth.one_way_us(1);
+        let big = truth.one_way_us(65536);
+        let fitted = fit(small, 2.0 * truth.o_us, truth.g_us, 65536, big);
+        assert!((fitted.l_us - truth.l_us).abs() < 1e-9);
+        assert!((fitted.o_us - truth.o_us).abs() < 1e-9);
+        assert!((fitted.big_g_us_per_byte - truth.big_g_us_per_byte).abs() < 1e-9);
+        assert!((fitted.peak_bandwidth_mbs() - 80.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn degenerate_inputs_clamp_to_zero() {
+        let p = fit(1.0, 10.0, 5.0, 4, 0.5);
+        assert_eq!(p.l_us, 0.0);
+        assert_eq!(p.big_g_us_per_byte, 0.0);
+    }
+
+    #[test]
+    fn proxy_trades_latency_for_overhead() {
+        // The §5.3 story in LogGP terms: fit HW1-ish and MP1-ish numbers
+        // and compare.
+        let hw = fit(5.3, 1.5, 4.0, 262_144, 1755.0);
+        let mp = fit(13.0, 3.0, 7.0, 262_144, 3160.0);
+        assert!(mp.l_us > 2.0 * hw.l_us, "proxy latency much larger");
+        assert!(mp.o_us <= 2.0 * hw.o_us, "proxy overhead comparable");
+    }
+}

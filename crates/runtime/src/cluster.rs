@@ -1,0 +1,693 @@
+//! The threaded message-proxy cluster.
+//!
+//! One proxy thread per node runs the Figure 5 loop for real: it polls the
+//! registered per-user command queues and the node's network input, using
+//! the §4.1 *shared bit vector* optimisation — producers set a per-queue
+//! ready bit, so an idle proxy probes one word instead of scanning every
+//! queue head. Protection checks (asid permission, bounds) run in the
+//! proxy, never in user code; violations are counted as faults and the
+//! operation is dropped, the runtime analogue of "the system faults a
+//! process".
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::queue::SegQueue;
+use parking_lot::RwLock;
+
+use crate::mem::Segment;
+use crate::spsc::{self, Entry};
+
+/// Synchronisation flags per process.
+pub const NUM_FLAGS: usize = 64;
+/// Remote queues per process.
+pub const NUM_QUEUES: usize = 8;
+/// Command queue depth per process.
+pub const CMDQ_DEPTH: usize = 128;
+
+const OP_PUT: u32 = 1;
+const OP_GET: u32 = 2;
+const OP_ENQ: u32 = 3;
+
+/// A synchronisation-flag slot (monotone counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlagId(pub u32);
+
+/// A remote-queue slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RqId(pub u32);
+
+struct ProcShared {
+    asid: u32,
+    node: usize,
+    seg: Segment,
+    flags: Vec<Arc<AtomicU64>>,
+    queues: Vec<Arc<SegQueue<Vec<u8>>>>,
+    faults: Arc<AtomicU64>,
+}
+
+enum WireMsg {
+    Put {
+        dst: u32,
+        raddr: u64,
+        data: Vec<u8>,
+        rsync: Option<u32>,
+        ack: Option<(usize, u64)>,
+    },
+    GetReq {
+        src_asid: u32,
+        dst: u32,
+        raddr: u64,
+        nbytes: u32,
+        origin: usize,
+        token: u64,
+    },
+    GetReply {
+        token: u64,
+        data: Option<Vec<u8>>,
+    },
+    Enq {
+        dst: u32,
+        rq: u32,
+        data: Vec<u8>,
+        rsync: Option<u32>,
+        ack: Option<(usize, u64)>,
+    },
+    Ack {
+        token: u64,
+    },
+}
+
+enum Ccb {
+    Get {
+        proc: u32,
+        laddr: u64,
+        nbytes: u32,
+        lsync: Option<u32>,
+    },
+    PutAck {
+        proc: u32,
+        lsync: Option<u32>,
+    },
+}
+
+struct Shared {
+    procs: Vec<Arc<ProcShared>>,
+    perms: RwLock<HashSet<(u32, u32)>>,
+    allow_all: AtomicBool,
+    stop: AtomicBool,
+    wires: Vec<Sender<WireMsg>>,
+    ops_serviced: Vec<Arc<AtomicU64>>, // per node
+}
+
+impl Shared {
+    fn allowed(&self, src: u32, dst: u32) -> bool {
+        src == dst
+            || self.allow_all.load(Ordering::Relaxed)
+            || self.perms.read().contains(&(src, dst))
+    }
+
+    fn fault(&self, src: u32) {
+        self.procs[src as usize]
+            .faults
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn set_flag(&self, proc: u32, flag: u32) {
+        self.procs[proc as usize].flags[flag as usize].fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Builds an [`RtCluster`]: declare nodes and processes, then
+/// [`RtClusterBuilder::start`].
+pub struct RtClusterBuilder {
+    nodes: usize,
+    procs: Vec<(usize, usize)>, // (node, segment bytes)
+}
+
+impl RtClusterBuilder {
+    /// A cluster of `nodes` SMP nodes (each gets one dedicated proxy
+    /// thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        RtClusterBuilder {
+            nodes,
+            procs: Vec::new(),
+        }
+    }
+
+    /// Adds a user process on `node` with a segment of `mem_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn add_process(&mut self, node: usize, mem_bytes: usize) -> u32 {
+        assert!(node < self.nodes, "node {node} out of range");
+        self.procs.push((node, mem_bytes));
+        (self.procs.len() - 1) as u32
+    }
+
+    /// Starts the proxy threads and returns the cluster handle plus one
+    /// [`Endpoint`] per declared process (in declaration order).
+    #[must_use]
+    pub fn start(self) -> (RtCluster, Vec<Endpoint>) {
+        let mut wires_tx = Vec::with_capacity(self.nodes);
+        let mut wires_rx = Vec::with_capacity(self.nodes);
+        for _ in 0..self.nodes {
+            let (tx, rx) = unbounded();
+            wires_tx.push(tx);
+            wires_rx.push(rx);
+        }
+        let procs: Vec<Arc<ProcShared>> = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, &(node, bytes))| {
+                Arc::new(ProcShared {
+                    asid: i as u32,
+                    node,
+                    seg: Segment::new(bytes),
+                    flags: (0..NUM_FLAGS)
+                        .map(|_| Arc::new(AtomicU64::new(0)))
+                        .collect(),
+                    queues: (0..NUM_QUEUES).map(|_| Arc::new(SegQueue::new())).collect(),
+                    faults: Arc::new(AtomicU64::new(0)),
+                })
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            procs,
+            perms: RwLock::new(HashSet::new()),
+            allow_all: AtomicBool::new(true),
+            stop: AtomicBool::new(false),
+            wires: wires_tx,
+            ops_serviced: (0..self.nodes)
+                .map(|_| Arc::new(AtomicU64::new(0)))
+                .collect(),
+        });
+
+        // Per-process command queues, grouped by node, plus the §4.1
+        // ready-bit vector per node.
+        let mut endpoints = Vec::with_capacity(self.procs.len());
+        let mut per_node: Vec<Vec<(u32, spsc::Consumer)>> =
+            (0..self.nodes).map(|_| Vec::new()).collect();
+        let masks: Vec<Arc<AtomicU64>> = (0..self.nodes)
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
+        for (i, &(node, _)) in self.procs.iter().enumerate() {
+            let (tx, rx) = spsc::channel(CMDQ_DEPTH);
+            let qbit = per_node[node].len() as u32;
+            assert!(qbit < 64, "at most 64 processes per node");
+            per_node[node].push((i as u32, rx));
+            endpoints.push(Endpoint {
+                me: Arc::clone(&shared.procs[i]),
+                cmd: tx,
+                ready: Arc::clone(&masks[node]),
+                qbit,
+                next_alloc: 0,
+            });
+        }
+
+        let joins = per_node
+            .into_iter()
+            .enumerate()
+            .map(|(node, queues)| {
+                let shared = Arc::clone(&shared);
+                let rx = wires_rx[node].clone();
+                let mask = Arc::clone(&masks[node]);
+                std::thread::Builder::new()
+                    .name(format!("mproxy-{node}"))
+                    .spawn(move || proxy_main(node, queues, rx, mask, &shared))
+                    .expect("spawn proxy thread")
+            })
+            .collect();
+
+        (RtCluster { shared, joins }, endpoints)
+    }
+}
+
+/// A running cluster of proxy threads.
+pub struct RtCluster {
+    shared: Arc<Shared>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl RtCluster {
+    /// Disables allow-all: only explicit grants pass the protection check.
+    pub fn restrict(&self) {
+        self.shared.allow_all.store(false, Ordering::Relaxed);
+    }
+
+    /// Grants `src` access to address space `dst`.
+    pub fn grant(&self, src: u32, dst: u32) {
+        self.shared.perms.write().insert((src, dst));
+    }
+
+    /// Revokes a grant.
+    pub fn revoke(&self, src: u32, dst: u32) {
+        self.shared.perms.write().remove(&(src, dst));
+    }
+
+    /// Total commands + packets serviced by node `node`'s proxy.
+    #[must_use]
+    pub fn ops_serviced(&self, node: usize) -> u64 {
+        self.shared.ops_serviced[node].load(Ordering::Relaxed)
+    }
+
+    /// Stops the proxy threads and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for RtCluster {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// A user process's handle: submits commands, reads/writes its own
+/// segment, observes flags and queues. Not `Clone` — a command queue has
+/// exactly one producer.
+pub struct Endpoint {
+    me: Arc<ProcShared>,
+    cmd: spsc::Producer,
+    ready: Arc<AtomicU64>,
+    qbit: u32,
+    next_alloc: u64,
+}
+
+impl Endpoint {
+    /// This process's address-space id.
+    #[must_use]
+    pub fn asid(&self) -> u32 {
+        self.me.asid
+    }
+
+    /// The node this process runs on.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.me.node
+    }
+
+    /// Bump-allocates `n` bytes in this process's segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is exhausted.
+    pub fn alloc(&mut self, n: u64) -> u64 {
+        let addr = self.next_alloc.next_multiple_of(64);
+        assert!(
+            self.me.seg.check(addr, n as usize),
+            "segment exhausted: need {n} at {addr} of {}",
+            self.me.seg.size()
+        );
+        self.next_alloc = addr + n;
+        addr
+    }
+
+    /// Local segment accessor.
+    #[must_use]
+    pub fn seg(&self) -> &Segment {
+        &self.me.seg
+    }
+
+    /// Protection faults charged to this process.
+    #[must_use]
+    pub fn faults(&self) -> u64 {
+        self.me.faults.load(Ordering::Relaxed)
+    }
+
+    /// Current value of one of this process's flags.
+    #[must_use]
+    pub fn flag(&self, f: FlagId) -> u64 {
+        self.me.flags[f.0 as usize].load(Ordering::Acquire)
+    }
+
+    /// Spins until flag `f` reaches `target` (yielding periodically so
+    /// oversubscribed hosts still make progress).
+    pub fn wait_flag(&self, f: FlagId, target: u64) {
+        let mut spins = 0u32;
+        while self.flag(f) < target {
+            spins += 1;
+            if spins > 500 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Non-blocking dequeue from one of this process's own remote queues.
+    #[must_use]
+    pub fn rq_try_recv(&self, rq: RqId) -> Option<Vec<u8>> {
+        self.me.queues[rq.0 as usize].pop()
+    }
+
+    fn submit(&mut self, e: Entry) {
+        self.cmd.send(e);
+        // §4.1: flip the shared ready bit so the proxy's idle scan probes
+        // one word instead of every queue head.
+        self.ready.fetch_or(1 << self.qbit, Ordering::Release);
+    }
+
+    fn pack_sync(lsync: Option<FlagId>, rsync: Option<FlagId>) -> u64 {
+        let l = lsync.map_or(0, |f| u64::from(f.0) + 1);
+        let r = rsync.map_or(0, |f| u64::from(f.0) + 1);
+        (l << 32) | r
+    }
+
+    /// `PUT`: copy `nbytes` from local `laddr` to `raddr` in `dst`'s
+    /// space. `lsync` increments on remote acknowledgement; `rsync` (a
+    /// flag of `dst`) increments on delivery.
+    pub fn put(
+        &mut self,
+        laddr: u64,
+        dst: u32,
+        raddr: u64,
+        nbytes: u32,
+        lsync: Option<FlagId>,
+        rsync: Option<FlagId>,
+    ) {
+        self.submit(Entry {
+            op: OP_PUT,
+            args: [
+                laddr,
+                raddr,
+                (u64::from(dst) << 32) | u64::from(nbytes),
+                Self::pack_sync(lsync, rsync),
+            ],
+        });
+    }
+
+    /// `GET`: copy `nbytes` from `raddr` in `dst`'s space to local
+    /// `laddr`; `lsync` increments when the data has landed.
+    pub fn get(&mut self, laddr: u64, dst: u32, raddr: u64, nbytes: u32, lsync: Option<FlagId>) {
+        self.submit(Entry {
+            op: OP_GET,
+            args: [
+                laddr,
+                raddr,
+                (u64::from(dst) << 32) | u64::from(nbytes),
+                Self::pack_sync(lsync, None),
+            ],
+        });
+    }
+
+    /// Blocking GET convenience: issues the get on flag 63 and spins for
+    /// completion.
+    pub fn get_blocking(&mut self, laddr: u64, dst: u32, raddr: u64, nbytes: u32) {
+        let f = FlagId((NUM_FLAGS - 1) as u32);
+        let target = self.flag(f) + 1;
+        self.get(laddr, dst, raddr, nbytes, Some(f));
+        self.wait_flag(f, target);
+    }
+
+    /// `ENQ`: append `nbytes` from local `laddr` to queue `rq` of `dst`.
+    pub fn enq(
+        &mut self,
+        laddr: u64,
+        dst: u32,
+        rq: RqId,
+        nbytes: u32,
+        lsync: Option<FlagId>,
+        rsync: Option<FlagId>,
+    ) {
+        self.submit(Entry {
+            op: OP_ENQ,
+            args: [
+                laddr,
+                u64::from(rq.0),
+                (u64::from(dst) << 32) | u64::from(nbytes),
+                Self::pack_sync(lsync, rsync),
+            ],
+        });
+    }
+}
+
+fn unpack_sync(v: u64) -> (Option<u32>, Option<u32>) {
+    let l = (v >> 32) as u32;
+    let r = v as u32;
+    ((l != 0).then(|| l - 1), (r != 0).then(|| r - 1))
+}
+
+/// The proxy thread: the Figure 5 loop over real queues and wires.
+fn proxy_main(
+    node: usize,
+    mut queues: Vec<(u32, spsc::Consumer)>,
+    wire_rx: Receiver<WireMsg>,
+    ready: Arc<AtomicU64>,
+    shared: &Shared,
+) {
+    let mut ccbs: HashMap<u64, Ccb> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut idle_spins = 0u32;
+    loop {
+        let mut progressed = false;
+        // User command queues: consult the ready-bit vector, then drain.
+        let mask = ready.swap(0, Ordering::Acquire);
+        if mask != 0 {
+            for (qi, (src, q)) in queues.iter_mut().enumerate() {
+                if mask & (1 << qi) == 0 {
+                    continue;
+                }
+                while let Some(e) = q.try_recv() {
+                    handle_command(node, *src, e, shared, &mut ccbs, &mut next_token);
+                    shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
+                    progressed = true;
+                }
+            }
+        }
+        // Network input FIFO.
+        while let Ok(msg) = wire_rx.try_recv() {
+            handle_packet(node, msg, shared, &mut ccbs);
+            shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
+            progressed = true;
+        }
+        if progressed {
+            idle_spins = 0;
+            continue;
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            // Final drain pass (ready bits may have raced with stop).
+            let drained = queues.iter_mut().all(|(_, q)| !q.is_ready());
+            if drained && wire_rx.is_empty() {
+                break;
+            }
+            // Re-arm all bits so the next pass scans everything.
+            ready.fetch_or(u64::MAX, Ordering::Release);
+            continue;
+        }
+        idle_spins += 1;
+        if idle_spins > 200 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+fn handle_command(
+    node: usize,
+    src: u32,
+    e: Entry,
+    shared: &Shared,
+    ccbs: &mut HashMap<u64, Ccb>,
+    next_token: &mut u64,
+) {
+    let laddr = e.args[0];
+    let dst = (e.args[2] >> 32) as u32;
+    let nbytes = e.args[2] as u32;
+    let (lsync, rsync) = unpack_sync(e.args[3]);
+    if dst as usize >= shared.procs.len() || !shared.allowed(src, dst) {
+        shared.fault(src);
+        return;
+    }
+    let src_proc = &shared.procs[src as usize];
+    match e.op {
+        OP_PUT => {
+            if !src_proc.seg.check(laddr, nbytes as usize) {
+                shared.fault(src);
+                return;
+            }
+            let data = src_proc.seg.read(laddr, nbytes as usize);
+            let raddr = e.args[1];
+            let ack = lsync.map(|l| {
+                let token = *next_token;
+                *next_token += 1;
+                ccbs.insert(
+                    token,
+                    Ccb::PutAck {
+                        proc: src,
+                        lsync: Some(l),
+                    },
+                );
+                (node, token)
+            });
+            let dst_node = shared.procs[dst as usize].node;
+            let _ = shared.wires[dst_node].send(WireMsg::Put {
+                dst,
+                raddr,
+                data,
+                rsync,
+                ack,
+            });
+        }
+        OP_GET => {
+            if !src_proc.seg.check(laddr, nbytes as usize) {
+                shared.fault(src);
+                return;
+            }
+            let token = *next_token;
+            *next_token += 1;
+            ccbs.insert(
+                token,
+                Ccb::Get {
+                    proc: src,
+                    laddr,
+                    nbytes,
+                    lsync,
+                },
+            );
+            let dst_node = shared.procs[dst as usize].node;
+            let _ = shared.wires[dst_node].send(WireMsg::GetReq {
+                src_asid: src,
+                dst,
+                raddr: e.args[1],
+                nbytes,
+                origin: node,
+                token,
+            });
+        }
+        OP_ENQ => {
+            if !src_proc.seg.check(laddr, nbytes as usize) {
+                shared.fault(src);
+                return;
+            }
+            let data = src_proc.seg.read(laddr, nbytes as usize);
+            let rq = e.args[1] as u32;
+            if rq as usize >= NUM_QUEUES {
+                shared.fault(src);
+                return;
+            }
+            let ack = lsync.map(|l| {
+                let token = *next_token;
+                *next_token += 1;
+                ccbs.insert(
+                    token,
+                    Ccb::PutAck {
+                        proc: src,
+                        lsync: Some(l),
+                    },
+                );
+                (node, token)
+            });
+            let dst_node = shared.procs[dst as usize].node;
+            let _ = shared.wires[dst_node].send(WireMsg::Enq {
+                dst,
+                rq,
+                data,
+                rsync,
+                ack,
+            });
+        }
+        _ => shared.fault(src),
+    }
+}
+
+fn handle_packet(node: usize, msg: WireMsg, shared: &Shared, ccbs: &mut HashMap<u64, Ccb>) {
+    match msg {
+        WireMsg::Put {
+            dst,
+            raddr,
+            data,
+            rsync,
+            ack,
+        } => {
+            let dp = &shared.procs[dst as usize];
+            if dp.seg.check(raddr, data.len()) {
+                dp.seg.write(raddr, &data);
+                if let Some(f) = rsync {
+                    shared.set_flag(dst, f);
+                }
+            }
+            if let Some((origin, token)) = ack {
+                let _ = shared.wires[origin].send(WireMsg::Ack { token });
+            }
+        }
+        WireMsg::GetReq {
+            src_asid,
+            dst,
+            raddr,
+            nbytes,
+            origin,
+            token,
+        } => {
+            let dp = &shared.procs[dst as usize];
+            let data = if dp.seg.check(raddr, nbytes as usize) {
+                Some(dp.seg.read(raddr, nbytes as usize))
+            } else {
+                shared.fault(src_asid);
+                None
+            };
+            let _ = shared.wires[origin].send(WireMsg::GetReply { token, data });
+        }
+        WireMsg::GetReply { token, data } => {
+            if let Some(Ccb::Get {
+                proc,
+                laddr,
+                nbytes,
+                lsync,
+            }) = ccbs.remove(&token)
+            {
+                if let Some(data) = data {
+                    let take = (nbytes as usize).min(data.len());
+                    shared.procs[proc as usize].seg.write(laddr, &data[..take]);
+                }
+                if let Some(f) = lsync {
+                    shared.set_flag(proc, f);
+                }
+            }
+        }
+        WireMsg::Enq {
+            dst,
+            rq,
+            data,
+            rsync,
+            ack,
+        } => {
+            shared.procs[dst as usize].queues[rq as usize].push(data);
+            if let Some(f) = rsync {
+                shared.set_flag(dst, f);
+            }
+            if let Some((origin, token)) = ack {
+                let _ = shared.wires[origin].send(WireMsg::Ack { token });
+            }
+        }
+        WireMsg::Ack { token } => {
+            if let Some(Ccb::PutAck {
+                proc,
+                lsync: Some(f),
+            }) = ccbs.remove(&token)
+            {
+                shared.set_flag(proc, f);
+            }
+        }
+    }
+    let _ = node;
+}

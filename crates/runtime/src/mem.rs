@@ -1,0 +1,128 @@
+//! Shared-memory segments for the threaded runtime.
+//!
+//! Each user process owns one [`Segment`] — the runtime analogue of an
+//! address space (`asid`). Segments are plain atomic byte arrays, so the
+//! proxy thread can move data without locks; release/acquire ordering on
+//! the synchronisation flags publishes the payload bytes, exactly like a
+//! real shared-memory mailbox protocol.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// A byte-addressable shared segment.
+#[derive(Clone)]
+pub struct Segment {
+    bytes: Arc<[AtomicU8]>,
+}
+
+impl Segment {
+    /// Allocates a zeroed segment of `size` bytes.
+    #[must_use]
+    pub fn new(size: usize) -> Segment {
+        let v: Vec<AtomicU8> = (0..size).map(|_| AtomicU8::new(0)).collect();
+        Segment { bytes: v.into() }
+    }
+
+    /// Segment size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if `[addr, addr+n)` lies inside the segment.
+    #[must_use]
+    pub fn check(&self, addr: u64, n: usize) -> bool {
+        (addr as usize)
+            .checked_add(n)
+            .is_some_and(|end| end <= self.bytes.len())
+    }
+
+    /// Copies `n` bytes out of the segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds (callers validate first).
+    #[must_use]
+    pub fn read(&self, addr: u64, n: usize) -> Vec<u8> {
+        let s = addr as usize;
+        self.bytes[s..s + n]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Copies `data` into the segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds (callers validate first).
+    pub fn write(&self, addr: u64, data: &[u8]) {
+        let s = addr as usize;
+        for (slot, &b) in self.bytes[s..s + data.len()].iter().zip(data) {
+            slot.store(b, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads a little-endian `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read(addr, 8).try_into().expect("8 bytes"))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&self, addr: u64, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads an `f64`.
+    #[must_use]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&self, addr: u64, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+}
+
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Segment")
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let s = Segment::new(64);
+        s.write(0, b"hello");
+        assert_eq!(s.read(0, 5), b"hello");
+        s.write_u64(8, 0xfeed);
+        assert_eq!(s.read_u64(8), 0xfeed);
+        s.write_f64(16, -1.25);
+        assert_eq!(s.read_f64(16), -1.25);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let s = Segment::new(16);
+        assert!(s.check(0, 16));
+        assert!(!s.check(1, 16));
+        assert!(!s.check(u64::MAX, 1));
+        assert!(s.check(16, 0));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Segment::new(8);
+        let b = a.clone();
+        a.write_u64(0, 7);
+        assert_eq!(b.read_u64(0), 7);
+    }
+}

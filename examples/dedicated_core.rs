@@ -1,0 +1,61 @@
+//! The message-proxy architecture on real threads: a dedicated polling
+//! proxy per node, lock-free SPSC command queues, protected RMA — the
+//! 1997 design that became the DPDK/SPDK/seastar recipe.
+//!
+//! Run: `cargo run --release -p mproxy-examples --example dedicated_core`
+
+use std::time::Instant;
+
+use mproxy_rt::{FlagId, RqId, RtClusterBuilder};
+
+fn main() {
+    let mut b = RtClusterBuilder::new(2);
+    let p0 = b.add_process(0, 1 << 16);
+    let p1 = b.add_process(1, 1 << 16);
+    let (cluster, mut eps) = b.start();
+    let e1 = eps.pop().unwrap();
+    let mut e0 = eps.pop().unwrap();
+    println!("two nodes up, proxy threads polling (asids {p0}, {p1})");
+
+    // Measure acked-PUT round trips through the real proxies.
+    e0.seg().write_u64(0, 1);
+    let rounds = 10_000u64;
+    let t = Instant::now();
+    for i in 1..=rounds {
+        e0.put(0, p1, 64, 8, Some(FlagId(0)), None);
+        e0.wait_flag(FlagId(0), i);
+    }
+    let per_op = t.elapsed().as_nanos() as f64 / rounds as f64;
+    println!("acked 8-byte PUT: {per_op:.0} ns/round-trip over {rounds} rounds");
+
+    // Remote queues: ENQ from node 0, dequeue at node 1.
+    e0.seg().write(128, b"via the proxy");
+    e0.enq(128, p1, RqId(0), 13, Some(FlagId(1)), None);
+    e0.wait_flag(FlagId(1), 1);
+    let msg = e1.rq_try_recv(RqId(0)).expect("delivered");
+    println!("enq delivered: {:?}", std::str::from_utf8(&msg).unwrap());
+
+    // Protection: restrict, observe the fault, grant, retry.
+    cluster.restrict();
+    e0.put(0, p1, 0, 8, None, Some(FlagId(2)));
+    while e0.faults() == 0 {
+        std::hint::spin_loop();
+    }
+    println!(
+        "un-granted PUT faulted at the proxy (faults = {})",
+        e0.faults()
+    );
+    cluster.grant(p0, p1);
+    e0.put(0, p1, 0, 8, None, Some(FlagId(2)));
+    e1.wait_flag(FlagId(2), 1);
+    println!("after grant, the same PUT landed");
+
+    println!(
+        "proxy ops serviced: node0 = {}, node1 = {}",
+        cluster.ops_serviced(0),
+        cluster.ops_serviced(1)
+    );
+    drop((e0, e1));
+    cluster.shutdown();
+    println!("clean shutdown");
+}

@@ -1,0 +1,44 @@
+//! Design-space exploration with the §4.1 analytic model: "the model can
+//! be used to predict message proxy performance on other SMP cluster
+//! architectures". Sweeps cache-miss latency and processor speed, prints
+//! predicted one-word GET latency, and cross-checks two points against
+//! the full simulator.
+//!
+//! Run: `cargo run --release -p mproxy-examples --example design_space`
+
+use mproxy_model::{get_latency, DesignPoint, MachineParams, MP1};
+
+fn main() {
+    println!("Predicted one-word GET latency (us) = f(cache miss C, speed S):\n");
+    print!("{:>8}", "C\\S");
+    let speeds = [1.0, 2.0, 4.0, 8.0];
+    for s in speeds {
+        print!(" {s:>8.1}");
+    }
+    println!();
+    for c in [1.0, 0.5, 0.25, 0.1] {
+        print!("{c:>8.2}");
+        for s in speeds {
+            let m = MachineParams::G30.with_cache_miss(c).with_speed(s);
+            print!(" {:>8.2}", get_latency().eval_uniform(&m));
+        }
+        println!();
+    }
+
+    println!("\nCross-check against the execution-driven simulator:");
+    for (label, c, s) in [("slow SMP", 1.0, 1.0), ("fast SMP", 0.5, 4.0)] {
+        let machine = MachineParams::G30.with_cache_miss(c).with_speed(s);
+        let point = DesignPoint {
+            name: "custom",
+            machine,
+            shared_miss_us: c,
+            ..MP1
+        };
+        let sim = mproxy::micro::run_micro(point).get_us;
+        let model = get_latency().eval_uniform(&machine);
+        println!(
+            "  {label}: model {model:>6.2} us, simulator {sim:>6.2} us ({:+.1}%)",
+            100.0 * (sim - model) / model
+        );
+    }
+}

@@ -1,0 +1,2 @@
+//! Placeholder library target; the runnable code lives in the example
+//! binaries (`cargo run -p mproxy-examples --example quickstart`).

@@ -1,0 +1,39 @@
+//! A domain scenario: distributed sample sort on an SMP cluster, compared
+//! across protected-communication architectures — the workload class the
+//! paper's introduction motivates (fine-grained key exchange stresses
+//! small-message latency and compute-processor overhead).
+//!
+//! Run: `cargo run --release -p mproxy-examples --example parallel_sort`
+
+use mproxy_apps::{run_app_flat, AppId, AppSize};
+use mproxy_model::ALL_DESIGN_POINTS;
+
+fn main() {
+    println!("Sample sort, 8192 keys, 8 processors:\n");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10} {:>12}",
+        "point", "time (us)", "vs HW1", "ops", "proxy util"
+    );
+    let mut hw1 = 0.0;
+    for d in ALL_DESIGN_POINTS {
+        let r = run_app_flat(AppId::Sample, d, 8, AppSize::Small);
+        if d.name == "HW1" {
+            hw1 = r.elapsed_us;
+        }
+        let rel = if hw1 > 0.0 { r.elapsed_us / hw1 } else { 1.0 };
+        println!(
+            "{:<6} {:>12.0} {:>11.2}x {:>10} {:>11.1}%",
+            d.name,
+            r.elapsed_us,
+            rel,
+            r.traffic.total_ops,
+            r.traffic.interface_utilization * 100.0
+        );
+    }
+    println!("\nThe bulk-transfer variant (Sampleb) flips the ordering for the");
+    println!("bandwidth-limited points:");
+    for d in ALL_DESIGN_POINTS {
+        let r = run_app_flat(AppId::Sampleb, d, 8, AppSize::Small);
+        println!("{:<6} {:>12.0} us", d.name, r.elapsed_us);
+    }
+}

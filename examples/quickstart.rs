@@ -1,0 +1,80 @@
+//! Quickstart: a two-node SMP cluster with message-proxy communication.
+//!
+//! Demonstrates the Section 3 primitives — PUT, GET, ENQ with lsync/rsync
+//! completion flags — and protection: an address space that was never
+//! granted faults the access.
+//!
+//! Run: `cargo run -p mproxy-examples --example quickstart`
+
+use mproxy::{Asid, Cluster, ClusterSpec, CommError, ProcId, RemoteQueue};
+use mproxy_des::Simulation;
+use mproxy_model::MP1;
+
+fn main() {
+    let sim = Simulation::new();
+    let mut spec = ClusterSpec::new(MP1, 2, 1);
+    spec.allow_all = false; // protection on: explicit grants only
+    let cluster = Cluster::new(&sim.ctx(), spec).expect("valid spec");
+    cluster.grant(ProcId(0), Asid(1)); // rank 0 may touch rank 1's space
+
+    cluster.spawn_spmd(|p| async move {
+        let buf = p.alloc(64);
+        let q = p.new_queue();
+        let flag = p.new_flag();
+        p.ctx().yield_now().await; // let every rank finish setup
+
+        if p.rank() == ProcId(0) {
+            // PUT a word into rank 1's space and wait for the ack.
+            p.write_u64(buf, 0xC0FFEE);
+            p.put(buf, Asid(1), buf, 8, Some(&flag), None)
+                .await
+                .unwrap();
+            p.wait_flag(&flag, 1).await;
+            println!("[{}us] PUT acknowledged", p.now().as_us());
+
+            // GET it back into a scratch slot.
+            p.get(buf.offset(8), Asid(1), buf, 8, Some(&flag), None)
+                .await
+                .unwrap();
+            p.wait_flag(&flag, 2).await;
+            assert_eq!(p.read_u64(buf.offset(8)), 0xC0FFEE);
+            println!("[{}us] GET returned the word", p.now().as_us());
+
+            // ENQ a message into rank 1's queue.
+            p.write_bytes(buf.offset(16), b"hello, proxy!");
+            p.enq(
+                buf.offset(16),
+                RemoteQueue {
+                    proc: ProcId(1),
+                    rq: q,
+                },
+                13,
+                Some(&flag),
+                None,
+            )
+            .await
+            .unwrap();
+            p.wait_flag(&flag, 3).await;
+
+            // Protection: rank 0 was never granted asid 0 -> asid 0 is
+            // itself; try asid 1 from... demonstrate a denied access by
+            // revoking semantics on a third space instead: no rank 2
+            // exists, so target rank 1 from a hostile angle:
+        } else {
+            // Rank 1: wait for the queued message.
+            let msg = p.rq_recv(q).await.expect("queue open");
+            println!(
+                "[{}us] rank 1 dequeued {:?}",
+                p.now().as_us(),
+                std::str::from_utf8(&msg).unwrap()
+            );
+            // Rank 1 was granted nothing: its PUT to rank 0 must fault.
+            let denied = p.put(buf, Asid(0), buf, 8, None, None).await;
+            assert!(matches!(denied, Err(CommError::PermissionDenied { .. })));
+            println!("[{}us] rank 1's un-granted PUT was denied", p.now().as_us());
+        }
+    });
+    let report = cluster.run(&sim);
+    assert!(report.completed_cleanly());
+    println!("done at {} ({} events)", sim.now(), report.events);
+}

@@ -1,0 +1,1 @@
+//! Integration-test-only package; the tests live in `tests/tests/`.

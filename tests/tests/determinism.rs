@@ -1,0 +1,29 @@
+//! Whole-stack determinism: repeated runs are bit-identical in results,
+//! simulated time, and event counts — the property that makes the
+//! evaluation reproducible.
+
+use mproxy_apps::{run_app_flat, AppId, AppSize};
+use mproxy_model::{MP0, MP2, SW1};
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    for (app, d) in [(AppId::Sample, MP0), (AppId::Lu, MP2), (AppId::Wator, SW1)] {
+        let a = run_app_flat(app, d, 4, AppSize::Tiny);
+        let b = run_app_flat(app, d, 4, AppSize::Tiny);
+        assert_eq!(a.elapsed_us, b.elapsed_us, "{} time drifted", app.name());
+        assert_eq!(a.checksum, b.checksum, "{} result drifted", app.name());
+        assert_eq!(
+            a.traffic.total_ops,
+            b.traffic.total_ops,
+            "{} traffic drifted",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn micro_benchmarks_are_deterministic() {
+    let a = mproxy::micro::run_micro(MP0);
+    let b = mproxy::micro::run_micro(MP0);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,63 @@
+//! Integration of the miniature MPI layer with the rest of the stack:
+//! topology independence and coexistence with collectives.
+
+use mproxy::{Cluster, ClusterSpec, ProcId};
+use mproxy_am::{Am, Coll};
+use mproxy_des::Simulation;
+use mproxy_model::{ALL_DESIGN_POINTS, MP1};
+use mproxy_mpi::Mpi;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn all_to_all_sum(design: mproxy_model::DesignPoint, nodes: usize, ppn: usize) -> f64 {
+    let sim = Simulation::new();
+    let cluster = Cluster::new(&sim.ctx(), ClusterSpec::new(design, nodes, ppn)).unwrap();
+    let out = Rc::new(RefCell::new(0.0));
+    let probe = Rc::clone(&out);
+    cluster.spawn_spmd(move |p| {
+        let probe = Rc::clone(&probe);
+        async move {
+            let am = Am::new(&p);
+            let mpi = Mpi::new(&p, &am);
+            let coll = Coll::new(&p, Some(am));
+            let n = p.nprocs() as u32;
+            let me = p.rank().0;
+            let buf = p.alloc(64);
+            p.ctx().yield_now().await;
+            coll.barrier().await;
+            // Everyone sends its rank+1 to everyone else, tag = sender.
+            for d in 0..n {
+                if d != me {
+                    p.write_u64(buf, u64::from(me) + 1);
+                    mpi.send(ProcId(d), me, buf, 8).await;
+                }
+            }
+            let mut sum = 0u64;
+            for _ in 0..n - 1 {
+                let (_, _, _) = mpi.recv(None, None, buf.offset(8), 8).await;
+                sum += p.read_u64(buf.offset(8));
+            }
+            let total = coll.allreduce_sum(sum as f64).await;
+            coll.barrier().await;
+            if me == 0 {
+                *probe.borrow_mut() = total;
+            }
+        }
+    });
+    assert!(cluster.run(&sim).completed_cleanly());
+    let v = *out.borrow();
+    v
+}
+
+#[test]
+fn mpi_all_to_all_is_topology_and_architecture_independent() {
+    // Each rank receives sum over senders (s+1): total = (n-1) * n(n+1)/2.
+    let expect = |n: u64| (n - 1) as f64 * (n * (n + 1) / 2) as f64;
+    let flat = all_to_all_sum(MP1, 4, 1);
+    assert_eq!(flat, expect(4));
+    let smp = all_to_all_sum(MP1, 2, 2);
+    assert_eq!(smp, expect(4));
+    for d in ALL_DESIGN_POINTS {
+        assert_eq!(all_to_all_sum(d, 2, 1), expect(2), "{}", d.name);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests over the core data structures and the analytic
+//! model.
+
+use mproxy::{Asid, Cluster, ClusterSpec, ProcId};
+use mproxy_des::{Dur, SimTime, Simulation, Tally};
+use mproxy_model::{get_latency, DesignPoint, MachineParams, MP1};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dur_arithmetic_is_consistent(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let (da, db) = (Dur::from_ns(a), Dur::from_ns(b));
+        prop_assert_eq!(da + db, Dur::from_ns(a + b));
+        prop_assert_eq!((SimTime::ZERO + da + db) - db, SimTime::ZERO + da);
+        prop_assert_eq!(da - db, Dur::from_ns(a.saturating_sub(b)));
+    }
+
+    #[test]
+    fn tally_merge_equals_combined_stream(xs in prop::collection::vec(-1e6f64..1e6, 0..50),
+                                          ys in prop::collection::vec(-1e6f64..1e6, 0..50)) {
+        let mut all = Tally::new();
+        for &x in xs.iter().chain(&ys) { all.add(x); }
+        let mut a = Tally::new();
+        for &x in &xs { a.add(x); }
+        let mut b = Tally::new();
+        for &y in &ys { b.add(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert!((a.sum() - all.sum()).abs() < 1e-6);
+        prop_assert_eq!(a.min(), all.min());
+        prop_assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn model_is_monotone_in_every_primitive(c in 0.1f64..2.0, s in 1.0f64..8.0, l in 0.1f64..5.0) {
+        let base = MachineParams { cache_miss_us: c, speed: s, net_latency_us: l, ..MachineParams::G30 };
+        let g = get_latency().eval_uniform(&base);
+        let worse_c = MachineParams { cache_miss_us: c * 1.5, ..base };
+        let better_s = MachineParams { speed: s * 2.0, ..base };
+        let worse_l = MachineParams { net_latency_us: l + 1.0, ..base };
+        prop_assert!(get_latency().eval_uniform(&worse_c) > g);
+        prop_assert!(get_latency().eval_uniform(&better_s) < g);
+        prop_assert!(get_latency().eval_uniform(&worse_l) > g);
+    }
+}
+
+proptest! {
+    // Simulator runs are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulator_tracks_analytic_model_on_random_machines(
+        c in prop::sample::select(vec![0.25f64, 0.5, 1.0, 1.5]),
+        s in prop::sample::select(vec![1.0f64, 2.0, 4.0]),
+    ) {
+        let machine = MachineParams::G30.with_cache_miss(c).with_speed(s);
+        let point = DesignPoint { name: "prop", machine, shared_miss_us: c, ..MP1 };
+        let sim = mproxy::micro::run_micro(point).get_us;
+        let model = get_latency().eval_uniform(&machine);
+        let err = (sim - model).abs() / model;
+        prop_assert!(err < 0.10, "sim {sim:.2} vs model {model:.2} ({err:.1}%)");
+    }
+
+    #[test]
+    fn put_then_get_reads_own_write(
+        words in prop::collection::vec(any::<u64>(), 1..16),
+        offset_words in 0u64..8,
+    ) {
+        let sim = Simulation::new();
+        let cluster = Cluster::new(&sim.ctx(), ClusterSpec::new(MP1, 2, 1)).unwrap();
+        let ok = Rc::new(RefCell::new(false));
+        let probe = Rc::clone(&ok);
+        let words2 = words.clone();
+        cluster.spawn_spmd(move |p| {
+            let probe = Rc::clone(&probe);
+            let words = words2.clone();
+            async move {
+                let n = words.len() as u64;
+                let buf = p.alloc((offset_words + n + 16) * 8);
+                p.ctx().yield_now().await;
+                if p.rank() == ProcId(0) {
+                    let f = p.new_flag();
+                    for (i, w) in words.iter().enumerate() {
+                        p.write_u64(buf.index(i as u64, 8), *w);
+                    }
+                    let raddr = buf.index(offset_words, 8);
+                    p.put(buf, Asid(1), raddr, (n * 8) as u32, Some(&f), None)
+                        .await
+                        .unwrap();
+                    p.wait_flag(&f, 1).await;
+                    let back = buf.index(offset_words + n + 1, 8);
+                    p.get(back, Asid(1), raddr, (n * 8) as u32, Some(&f), None)
+                        .await
+                        .unwrap();
+                    p.wait_flag(&f, 2).await;
+                    let all_match = words
+                        .iter()
+                        .enumerate()
+                        .all(|(i, w)| p.read_u64(back.index(i as u64, 8)) == *w);
+                    *probe.borrow_mut() = all_match;
+                }
+            }
+        });
+        prop_assert!(cluster.run(&sim).completed_cleanly());
+        prop_assert!(*ok.borrow(), "PUT-then-GET must read back the written words");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// CRL exclusivity makes region increments atomic: under a random
+    /// assignment of increments to ranks and regions — with no barriers,
+    /// so requests genuinely contend — every region ends at its exact
+    /// increment count on every architecture.
+    #[test]
+    fn crl_increments_are_atomic_under_contention(
+        plan in prop::collection::vec((0u32..4, 0u32..3), 1..24),
+        hw in any::<bool>(),
+    ) {
+        use mproxy_am::{Am, Coll};
+        use mproxy_crl::{Crl, RegionId};
+        let design = if hw { mproxy_model::HW1 } else { MP1 };
+        let sim = Simulation::new();
+        let cluster = Cluster::new(&sim.ctx(), ClusterSpec::new(design, 4, 1)).unwrap();
+        let plan = Rc::new(plan);
+        let checked = Rc::new(RefCell::new(0usize));
+        let probe = Rc::clone(&checked);
+        let plan2 = Rc::clone(&plan);
+        cluster.spawn_spmd(move |p| {
+            let plan = Rc::clone(&plan2);
+            let probe = Rc::clone(&probe);
+            async move {
+                let am = Am::new(&p);
+                let crl = Crl::new(&p, &am);
+                let coll = Coll::new(&p, Some(am));
+                // Rank 0 homes three counter regions.
+                if p.rank().0 == 0 {
+                    for _ in 0..3 {
+                        crl.create(8);
+                    }
+                }
+                let regions: Vec<_> = (0..3)
+                    .map(|idx| crl.map(RegionId { home: ProcId(0), idx }, 8))
+                    .collect();
+                p.ctx().yield_now().await;
+                coll.barrier().await;
+                for &(rank, region) in plan.iter() {
+                    if rank == p.rank().0 {
+                        let rgn = &regions[region as usize];
+                        crl.start_write(rgn).await;
+                        let v = p.read_u64(rgn.addr());
+                        p.write_u64(rgn.addr(), v + 1);
+                        crl.end_write(rgn).await;
+                    }
+                }
+                coll.barrier().await;
+                for (idx, rgn) in regions.iter().enumerate() {
+                    crl.start_read(rgn).await;
+                    let expect = plan.iter().filter(|&&(_, r)| r as usize == idx).count();
+                    assert_eq!(p.read_u64(rgn.addr()), expect as u64);
+                    crl.end_read(rgn).await;
+                    *probe.borrow_mut() += 1;
+                }
+                coll.barrier().await;
+            }
+        });
+        prop_assert!(cluster.run(&sim).completed_cleanly());
+        prop_assert_eq!(*checked.borrow(), 12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The DES executor never moves time backwards and runs every task to
+    /// completion for arbitrary delay graphs.
+    #[test]
+    fn des_time_is_monotone_over_random_task_graphs(
+        delays in prop::collection::vec(prop::collection::vec(0u64..5_000, 1..6), 1..12),
+    ) {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let max_end: u64 = delays.iter().map(|d| d.iter().sum::<u64>()).max().unwrap_or(0);
+        for chain in delays {
+            let ctx = ctx.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                for d in chain {
+                    ctx.delay(mproxy_des::Dur::from_ns(d)).await;
+                    log.borrow_mut().push(ctx.now().as_ns());
+                }
+            });
+        }
+        let report = sim.run();
+        prop_assert!(report.completed_cleanly());
+        prop_assert_eq!(report.end.as_ns(), max_end);
+        // Events were observed in nondecreasing time order.
+        let log = log.borrow();
+        prop_assert!(log.windows(2).all(|w| w[0] <= w[1]), "time went backwards: {log:?}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Cross-layer integration: CRL + Split-C + collectives + AM sharing one
+//! process, SMP nodes with several compute processors, and mixed traffic.
+
+use mproxy::{Cluster, ClusterSpec, ProcId};
+use mproxy_am::{Am, Coll};
+use mproxy_apps::{run_app, AppId, AppSize};
+use mproxy_crl::{Crl, RegionId};
+use mproxy_des::Simulation;
+use mproxy_model::{ALL_DESIGN_POINTS, HW0, MP2};
+use mproxy_splitc::{GlobalPtr, SplitC};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[test]
+fn all_layers_interoperate_in_one_process() {
+    let sim = Simulation::new();
+    let cluster = Cluster::new(&sim.ctx(), ClusterSpec::new(MP2, 2, 2)).unwrap();
+    let done = Rc::new(RefCell::new(0));
+    let probe = Rc::clone(&done);
+    cluster.spawn_spmd(move |p| {
+        let probe = Rc::clone(&probe);
+        async move {
+            let am = Am::new(&p);
+            let sc = SplitC::new(&p, &am);
+            let crl = Crl::new(&p, &am);
+            let coll = Coll::new(&p, Some(am.clone()));
+            let buf = p.alloc(64);
+            let rid = RegionId {
+                home: ProcId(0),
+                idx: 0,
+            };
+            if p.rank().0 == 0 {
+                crl.create(8);
+            }
+            let rgn = crl.map(rid, 8);
+            p.ctx().yield_now().await;
+            coll.barrier().await;
+            // Split-C write into the right neighbour...
+            let next = ProcId(((p.rank().0 as usize + 1) % p.nprocs()) as u32);
+            p.write_f64(buf, f64::from(p.rank().0));
+            sc.store(
+                buf,
+                GlobalPtr {
+                    proc: next,
+                    addr: buf.offset(8),
+                },
+                8,
+            )
+            .await;
+            sc.all_store_sync(&coll).await;
+            // ...a CRL counter increment...
+            crl.start_write(&rgn).await;
+            let v = p.read_u64(rgn.addr());
+            p.write_u64(rgn.addr(), v + 1);
+            crl.end_write(&rgn).await;
+            coll.barrier().await;
+            // ...and a reduction over what the neighbour stored.
+            let got = p.read_f64(buf.offset(8));
+            let total = coll.allreduce_sum(got).await;
+            assert_eq!(total, 0.0 + 1.0 + 2.0 + 3.0);
+            crl.start_read(&rgn).await;
+            assert_eq!(p.read_u64(rgn.addr()), 4);
+            crl.end_read(&rgn).await;
+            coll.barrier().await;
+            *probe.borrow_mut() += 1;
+        }
+    });
+    assert!(cluster.run(&sim).completed_cleanly());
+    assert_eq!(*done.borrow(), 4);
+}
+
+#[test]
+fn smp_topology_matches_flat_results_everywhere() {
+    for d in ALL_DESIGN_POINTS {
+        let flat = run_app(AppId::Water, d, 4, 1, AppSize::Tiny);
+        let smp = run_app(AppId::Water, d, 2, 2, AppSize::Tiny);
+        assert_eq!(
+            flat.checksum, smp.checksum,
+            "{}: topology changed the answer",
+            d.name
+        );
+        // Intra-node traffic bypasses the wire, so the SMP layout is
+        // never slower by an order of magnitude.
+        assert!(smp.elapsed_us < flat.elapsed_us * 3.0, "{}", d.name);
+    }
+}
+
+#[test]
+fn uniprocessor_cluster_runs_every_app() {
+    for app in [AppId::Mm, AppId::Fft, AppId::Sampleb] {
+        let r = run_app(app, HW0, 1, 1, AppSize::Tiny);
+        assert!(r.elapsed_us > 0.0);
+    }
+}
+
+#[test]
+fn proxy_contention_increases_with_procs_per_node() {
+    // One proxy serving four compute processors must be busier than one
+    // serving one (Figure 9's mechanism). Same total processors, so the
+    // per-node load quadruples minus what intra-node traffic absorbs.
+    let one = run_app(AppId::Sample, mproxy_model::MP1, 8, 1, AppSize::Tiny);
+    let four = run_app(AppId::Sample, mproxy_model::MP1, 2, 4, AppSize::Tiny);
+    assert!(
+        four.traffic.interface_utilization > one.traffic.interface_utilization,
+        "4-per-node proxy util {:.2} should exceed 1-per-node {:.2}",
+        four.traffic.interface_utilization,
+        one.traffic.interface_utilization
+    );
+}
+
+#[test]
+fn remote_deq_retries_until_data_arrives() {
+    // The paper's DEQ dequeues from a *remote* queue; an empty queue is
+    // re-probed until data lands. Exercise it on all three architectures.
+    for d in [mproxy_model::MP1, mproxy_model::HW1, mproxy_model::SW1] {
+        let sim = Simulation::new();
+        let cluster = Cluster::new(&sim.ctx(), ClusterSpec::new(d, 2, 1)).unwrap();
+        let got = Rc::new(RefCell::new(0u64));
+        let probe = Rc::clone(&got);
+        cluster.spawn_spmd(move |p| {
+            let probe = Rc::clone(&probe);
+            async move {
+                let buf = p.alloc(64);
+                let q = p.new_queue();
+                let f = p.new_flag();
+                p.ctx().yield_now().await;
+                if p.rank().0 == 0 {
+                    // DEQ from rank 1's queue *before* anything is there.
+                    p.deq(
+                        buf,
+                        mproxy::RemoteQueue {
+                            proc: ProcId(1),
+                            rq: q,
+                        },
+                        8,
+                        Some(&f),
+                    )
+                    .await
+                    .unwrap();
+                    p.wait_flag(&f, 1).await;
+                    *probe.borrow_mut() = p.read_u64(buf);
+                } else {
+                    // Enqueue into our own queue only after a long delay,
+                    // forcing several remote re-probes.
+                    p.compute_us(200.0).await;
+                    p.write_u64(buf, 4242);
+                    p.enq(
+                        buf,
+                        mproxy::RemoteQueue {
+                            proc: ProcId(1),
+                            rq: q,
+                        },
+                        8,
+                        Some(&f),
+                        None,
+                    )
+                    .await
+                    .unwrap();
+                    p.wait_flag(&f, 1).await;
+                }
+            }
+        });
+        assert!(cluster.run(&sim).completed_cleanly(), "{}", d.name);
+        assert_eq!(*got.borrow(), 4242, "{}", d.name);
+    }
+}
