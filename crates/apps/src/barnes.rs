@@ -68,6 +68,7 @@ fn group_of(i: usize, bodies: usize) -> usize {
 }
 
 /// Runs Barnes-Hut; returns this rank's checksum contribution.
+#[allow(clippy::needless_range_loop)] // group/summary indices drive span math
 pub async fn run(w: &World, size: AppSize) -> f64 {
     let cfg = config(size);
     let n = w.n();

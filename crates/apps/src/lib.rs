@@ -52,7 +52,7 @@ mod wator;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use mproxy::{Cluster, ClusterSpec, TrafficReport};
+use mproxy::{Cluster, ClusterSpec, FaultPlan, FaultReport, TrafficReport};
 use mproxy_des::Simulation;
 use mproxy_model::DesignPoint;
 
@@ -143,6 +143,9 @@ pub struct AppRun {
     pub checksum: f64,
     /// Cluster-wide traffic statistics (Table 6 inputs).
     pub traffic: TrafficReport,
+    /// Injected faults and link-layer recovery counters (all-zero for
+    /// runs without a fault plan).
+    pub faults: FaultReport,
 }
 
 /// Runs `app` on a `nodes`×`procs_per_node` cluster at `design`,
@@ -159,9 +162,43 @@ pub fn run_app(
     procs_per_node: usize,
     size: AppSize,
 ) -> AppRun {
+    run_app_inner(app, design, nodes, procs_per_node, size, None)
+}
+
+/// Like [`run_app`], but on a faulty network described by `plan`. The
+/// reliable link layer must make the run produce the same checksum as a
+/// fault-free one — only the timing (and the fault report) may differ.
+///
+/// # Panics
+///
+/// As for [`run_app`].
+#[must_use]
+pub fn run_app_faulty(
+    app: AppId,
+    design: DesignPoint,
+    nodes: usize,
+    procs_per_node: usize,
+    size: AppSize,
+    plan: FaultPlan,
+) -> AppRun {
+    run_app_inner(app, design, nodes, procs_per_node, size, Some(plan))
+}
+
+fn run_app_inner(
+    app: AppId,
+    design: DesignPoint,
+    nodes: usize,
+    procs_per_node: usize,
+    size: AppSize,
+    plan: Option<FaultPlan>,
+) -> AppRun {
     let sim = Simulation::new();
-    let cluster = Cluster::new(&sim.ctx(), ClusterSpec::new(design, nodes, procs_per_node))
-        .unwrap_or_else(|e| panic!("bad cluster spec: {e}"));
+    let spec = ClusterSpec::new(design, nodes, procs_per_node);
+    let cluster = match plan {
+        Some(plan) => Cluster::new_with_faults(&sim.ctx(), spec, plan),
+        None => Cluster::new(&sim.ctx(), spec),
+    }
+    .unwrap_or_else(|e| panic!("bad cluster spec: {e}"));
     let out: Rc<RefCell<(f64, f64)>> = Rc::new(RefCell::new((0.0, 0.0)));
     let probe = Rc::clone(&out);
     cluster.spawn_spmd(move |p| {
@@ -206,6 +243,7 @@ pub fn run_app(
         elapsed_us,
         checksum,
         traffic,
+        faults: cluster.fault_report(),
     }
 }
 
@@ -214,6 +252,19 @@ pub fn run_app(
 #[must_use]
 pub fn run_app_flat(app: AppId, design: DesignPoint, procs: usize, size: AppSize) -> AppRun {
     run_app(app, design, procs, 1, size)
+}
+
+/// Convenience: [`run_app_faulty`] on `procs` single-compute-processor
+/// nodes.
+#[must_use]
+pub fn run_app_flat_faulty(
+    app: AppId,
+    design: DesignPoint,
+    procs: usize,
+    size: AppSize,
+    plan: FaultPlan,
+) -> AppRun {
+    run_app_faulty(app, design, procs, 1, size, plan)
 }
 
 #[cfg(test)]
@@ -443,6 +494,20 @@ mod tests {
             moldy.avg_msg_bytes,
             wator.avg_msg_bytes
         );
+    }
+
+    #[test]
+    fn faulty_network_changes_timing_never_answers() {
+        let clean = run_app_flat(AppId::Sample, MP1, 2, AppSize::Tiny);
+        let plan = FaultPlan::new(99)
+            .drop(0.02)
+            .duplicate(0.01)
+            .reorder(0.02, 25.0);
+        let faulty = run_app_flat_faulty(AppId::Sample, MP1, 2, AppSize::Tiny, plan);
+        assert_eq!(clean.checksum, faulty.checksum);
+        assert!(faulty.faults.injected.packets > 0);
+        assert_eq!(faulty.faults.link.unreachable, 0);
+        assert!(faulty.elapsed_us >= clean.elapsed_us);
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub async fn run(w: &World, size: AppSize) -> f64 {
     run_inner(w, cfg.n, cfg.b).await
 }
 
+#[allow(clippy::needless_range_loop)] // 2-D block indices drive ownership math
 pub(crate) async fn run_inner(w: &World, n: usize, b: usize) -> f64 {
     assert_eq!(n % b, 0, "block size must divide the matrix");
     let g = n / b;

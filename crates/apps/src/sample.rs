@@ -42,6 +42,7 @@ const SAMPLES_PER_PROC: usize = 8;
 
 /// Runs Sample (`bulk = false`) or Sampleb (`bulk = true`); returns this
 /// rank's checksum contribution.
+#[allow(clippy::needless_range_loop)] // bucket index pairs with splitter and run
 pub async fn run(w: &World, size: AppSize, bulk: bool) -> f64 {
     let n = w.n();
     let me = w.me();

@@ -1,13 +1,35 @@
-//! Criterion benches of the *real* threaded message-proxy runtime: PUT
+//! Wall-clock benches of the *real* threaded message-proxy runtime: PUT
 //! round-trip latency, GET latency and ENQ throughput through an actual
 //! dedicated polling proxy. (On a single-core host the proxy shares the
 //! CPU with the benchmark thread, so absolute numbers are dominated by
 //! scheduling; on a multicore host they approach queue + wire costs.)
+//!
+//! Plain `harness = false` timing loops (no external bench framework, so
+//! the workspace builds offline): each case runs a warmup then reports
+//! mean ns/op over a fixed iteration count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mproxy_rt::{FlagId, RqId, RtClusterBuilder};
 
-fn put_roundtrip(c: &mut Criterion) {
+const WARMUP: u64 = 2_000;
+const ITERS: u64 = 20_000;
+
+fn report(name: &str, total: std::time::Duration, iters: u64) {
+    let ns = total.as_nanos() as f64 / iters as f64;
+    println!("{name:<24} {ns:>12.1} ns/op   ({iters} iters)");
+}
+
+fn bench<F: FnMut()>(name: &str, mut op: F) {
+    for _ in 0..WARMUP {
+        op();
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        op();
+    }
+    report(name, t0.elapsed(), ITERS);
+}
+
+fn put_roundtrip() {
     let mut b = RtClusterBuilder::new(2);
     let _p0 = b.add_process(0, 1 << 16);
     let p1 = b.add_process(1, 1 << 16);
@@ -16,18 +38,16 @@ fn put_roundtrip(c: &mut Criterion) {
     let mut e0 = eps.pop().unwrap();
     e0.seg().write_u64(0, 7);
     let mut target = 0u64;
-    c.bench_function("rt_put_acked_8B", |bench| {
-        bench.iter(|| {
-            target += 1;
-            e0.put(0, p1, 64, 8, Some(FlagId(0)), None);
-            e0.wait_flag(FlagId(0), target);
-        });
+    bench("rt_put_acked_8B", || {
+        target += 1;
+        e0.put(0, p1, 64, 8, Some(FlagId(0)), None);
+        e0.wait_flag(FlagId(0), target);
     });
     drop(e0);
     cluster.shutdown();
 }
 
-fn get_latency(c: &mut Criterion) {
+fn get_latency() {
     let mut b = RtClusterBuilder::new(2);
     let _p0 = b.add_process(0, 1 << 16);
     let p1 = b.add_process(1, 1 << 16);
@@ -35,16 +55,14 @@ fn get_latency(c: &mut Criterion) {
     let e1 = eps.pop().unwrap();
     let mut e0 = eps.pop().unwrap();
     e1.seg().write_u64(256, 99);
-    c.bench_function("rt_get_8B", |bench| {
-        bench.iter(|| {
-            e0.get_blocking(0, p1, 256, 8);
-        });
+    bench("rt_get_8B", || {
+        e0.get_blocking(0, p1, 256, 8);
     });
     drop((e0, e1));
     cluster.shutdown();
 }
 
-fn enq_deq(c: &mut Criterion) {
+fn enq_deq() {
     let mut b = RtClusterBuilder::new(1);
     let _p0 = b.add_process(0, 1 << 16);
     let p1 = b.add_process(0, 1 << 16);
@@ -53,23 +71,20 @@ fn enq_deq(c: &mut Criterion) {
     let mut e0 = eps.pop().unwrap();
     e0.seg().write_u64(0, 5);
     let mut target = 0u64;
-    c.bench_function("rt_enq_deq_16B", |bench| {
-        bench.iter(|| {
-            target += 1;
-            e0.enq(0, p1, RqId(0), 16, Some(FlagId(1)), None);
-            e0.wait_flag(FlagId(1), target);
-            while e1.rq_try_recv(RqId(0)).is_none() {
-                std::hint::spin_loop();
-            }
-        });
+    bench("rt_enq_deq_16B", || {
+        target += 1;
+        e0.enq(0, p1, RqId(0), 16, Some(FlagId(1)), None);
+        e0.wait_flag(FlagId(1), target);
+        while e1.rq_try_recv(RqId(0)).is_none() {
+            std::hint::spin_loop();
+        }
     });
     drop((e0, e1));
     cluster.shutdown();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
-    targets = put_roundtrip, get_latency, enq_deq
+fn main() {
+    put_roundtrip();
+    get_latency();
+    enq_deq();
 }
-criterion_main!(benches);

@@ -1,26 +1,29 @@
-//! Criterion benches of the simulator itself: how fast the
+//! Wall-clock benches of the simulator itself: how fast the
 //! discrete-event engine replays the paper's micro-benchmarks and a small
 //! application. Useful as a regression guard on engine overhead.
+//!
+//! Plain `harness = false` timing loops (no external bench framework, so
+//! the workspace builds offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mproxy_apps::{run_app_flat, AppId, AppSize};
 use mproxy_model::{MP1, SW1};
 
-fn sim_micro(c: &mut Criterion) {
-    c.bench_function("sim_table4_mp1", |b| {
-        b.iter(|| std::hint::black_box(mproxy::micro::run_micro(MP1)));
-    });
-    c.bench_function("sim_sample_tiny_mp1", |b| {
-        b.iter(|| std::hint::black_box(run_app_flat(AppId::Sample, MP1, 4, AppSize::Tiny)));
-    });
-    c.bench_function("sim_wator_tiny_sw1", |b| {
-        b.iter(|| std::hint::black_box(run_app_flat(AppId::Wator, SW1, 4, AppSize::Tiny)));
-    });
+fn bench<T, F: FnMut() -> T>(name: &str, iters: u32, mut op: F) {
+    op(); // warmup
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(op());
+    }
+    let us = t0.elapsed().as_micros() as f64 / f64::from(iters);
+    println!("{name:<24} {us:>12.1} us/run  ({iters} iters)");
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
-    targets = sim_micro
+fn main() {
+    bench("sim_table4_mp1", 10, || mproxy::micro::run_micro(MP1));
+    bench("sim_sample_tiny_mp1", 10, || {
+        run_app_flat(AppId::Sample, MP1, 4, AppSize::Tiny)
+    });
+    bench("sim_wator_tiny_sw1", 10, || {
+        run_app_flat(AppId::Wator, SW1, 4, AppSize::Tiny)
+    });
 }
-criterion_main!(benches);

@@ -14,12 +14,17 @@ use std::rc::Rc;
 
 use mproxy_des::{Channel, Counter, Dur, Resource, SimCtx, SimTime, Tally};
 use mproxy_model::{Arch, DesignPoint};
-use mproxy_simnet::{DmaEngine, DmaParams, LinkParams, NetPort, Network, NodeId};
+use mproxy_simnet::{
+    DmaEngine, DmaParams, FaultCounts, FaultPlan, FaultState, LinkParams, NetPort, Network, NodeId,
+};
 
 use crate::addr::{Asid, ProcId};
+use crate::engine::reliable::{LinkLayer, LinkStats};
 use crate::engine::{self, ProxyInput, WireMsg};
+use crate::error::CommError;
 use crate::mem::Memory;
 use crate::process::Proc;
+use crate::retry::RetryPolicy;
 
 /// Shape and technology of a simulated cluster.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +43,12 @@ pub struct ClusterSpec {
     /// the deterministic compute model (stands in for the paper's POWER2
     /// real-time-clock measurement).
     pub work_unit_ns: u64,
+    /// Re-probe schedule for DEQ operations that find the remote queue
+    /// empty.
+    pub deq_retry: RetryPolicy,
+    /// Retransmission schedule of the reliable link layer (used only when
+    /// the cluster is built with a fault plan).
+    pub xmit_retry: RetryPolicy,
 }
 
 impl ClusterSpec {
@@ -51,6 +62,8 @@ impl ClusterSpec {
             procs_per_node,
             allow_all: true,
             work_unit_ns: 20,
+            deq_retry: RetryPolicy::deq_default(),
+            xmit_retry: RetryPolicy::xmit_default(),
         }
     }
 
@@ -100,6 +113,9 @@ pub(crate) struct ProcState {
     pub(crate) next_queue: Cell<u32>,
     pub(crate) cpu: Resource,
     pub(crate) stats: RefCell<ProcStats>,
+    /// First communication failure that poisoned this process (see
+    /// [`crate::engine::reliable::poison_proc`]).
+    pub(crate) comm_error: RefCell<Option<CommError>>,
 }
 
 pub(crate) struct NodeState {
@@ -115,6 +131,9 @@ pub(crate) struct NodeState {
     pub(crate) engine_ops: Cell<u64>,
     pub(crate) ccbs: RefCell<std::collections::HashMap<u64, engine::Ccb>>,
     pub(crate) next_token: Cell<u64>,
+    /// Reliable-delivery state, present only when the cluster was built
+    /// with a fault plan.
+    pub(crate) link: Option<Rc<LinkLayer>>,
 }
 
 impl NodeState {
@@ -139,6 +158,8 @@ pub(crate) struct ClusterState {
     pub(crate) allow_all: Cell<bool>,
     pub(crate) app_done: Counter,
     pub(crate) started: SimTime,
+    /// Fault-injection state shared with the network, when installed.
+    pub(crate) faults: Option<Rc<FaultState>>,
 }
 
 impl ClusterState {
@@ -181,6 +202,16 @@ pub struct TrafficReport {
     pub elapsed: Dur,
 }
 
+/// Fault-injection and recovery summary of a run on a faulty network:
+/// what the plan injected, and what the reliable link layer did about it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Faults injected by the network (per the [`FaultPlan`]).
+    pub injected: FaultCounts,
+    /// Link-layer protocol activity, summed over all nodes.
+    pub link: LinkStats,
+}
+
 /// A simulated SMP cluster at one design point.
 ///
 /// # Examples
@@ -217,26 +248,36 @@ impl Cluster {
     /// Returns the [`ClusterSpec::validate`] message if the spec is
     /// invalid.
     pub fn new(ctx: &SimCtx, spec: ClusterSpec) -> Result<Cluster, String> {
+        Cluster::build(ctx, spec, None)
+    }
+
+    /// Builds the cluster on a faulty network: packets are dropped,
+    /// duplicated, reordered, or corrupted per `plan`, and every engine
+    /// sends through the reliable link layer ([`crate::engine::reliable`])
+    /// so application-visible semantics stay exactly-once, in-order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ClusterSpec::validate`] message if the spec is
+    /// invalid.
+    pub fn new_with_faults(
+        ctx: &SimCtx,
+        spec: ClusterSpec,
+        plan: FaultPlan,
+    ) -> Result<Cluster, String> {
+        Cluster::build(ctx, spec, Some(plan))
+    }
+
+    fn build(ctx: &SimCtx, spec: ClusterSpec, plan: Option<FaultPlan>) -> Result<Cluster, String> {
         spec.validate()?;
         let d = spec.design;
         let link = LinkParams::new(d.machine.net_latency_us, d.net_bw_mbs);
-        let network: Network<WireMsg> = Network::new(ctx, spec.nodes, link);
+        let network: Network<WireMsg> = match plan {
+            Some(plan) => Network::with_faults(ctx, spec.nodes, link, plan),
+            None => Network::new(ctx, spec.nodes, link),
+        };
+        let faults = network.fault_state();
         let dma_params = DmaParams::new(d.dma_bw_mbs, d.pin_us, d.unpin_us, d.page_bytes);
-
-        let nodes: Vec<Rc<NodeState>> = (0..spec.nodes)
-            .map(|n| {
-                Rc::new(NodeState {
-                    id: n,
-                    proxy_input: Channel::unbounded(),
-                    dma: DmaEngine::new(ctx, n, dma_params),
-                    port: network.adapter(n),
-                    engine_busy: Cell::new(Dur::ZERO),
-                    engine_ops: Cell::new(0),
-                    ccbs: RefCell::new(std::collections::HashMap::new()),
-                    next_token: Cell::new(0),
-                })
-            })
-            .collect();
 
         let procs: Vec<Rc<ProcState>> = (0..spec.nprocs())
             .map(|r| {
@@ -251,6 +292,33 @@ impl Cluster {
                     next_queue: Cell::new(0),
                     cpu: Resource::new(ctx, format!("cpu[{r}]"), 1),
                     stats: RefCell::new(ProcStats::default()),
+                    comm_error: RefCell::new(None),
+                })
+            })
+            .collect();
+
+        let nodes: Vec<Rc<NodeState>> = (0..spec.nodes)
+            .map(|n| {
+                let port = network.adapter(n);
+                let link = faults.as_ref().map(|_| {
+                    LinkLayer::new(
+                        ctx.clone(),
+                        n,
+                        port.clone(),
+                        spec.xmit_retry,
+                        procs.clone(),
+                    )
+                });
+                Rc::new(NodeState {
+                    id: n,
+                    proxy_input: Channel::unbounded(),
+                    dma: DmaEngine::new(ctx, n, dma_params),
+                    port,
+                    engine_busy: Cell::new(Dur::ZERO),
+                    engine_ops: Cell::new(0),
+                    ccbs: RefCell::new(std::collections::HashMap::new()),
+                    next_token: Cell::new(0),
+                    link,
                 })
             })
             .collect();
@@ -264,6 +332,7 @@ impl Cluster {
             perms: RefCell::new(HashSet::new()),
             app_done: Counter::new(),
             started: ctx.now(),
+            faults,
         });
 
         // Start the per-node communication agents.
@@ -368,6 +437,12 @@ impl Cluster {
             for node in &state.nodes {
                 node.proxy_input.close();
                 node.port.rx_fifo().close();
+                // Linger: all results have arrived by now, so drop any
+                // still-unacknowledged link-layer state rather than
+                // retransmitting into engines that just shut down.
+                if let Some(link) = &node.link {
+                    link.quiesce();
+                }
             }
         });
         sim.run()
@@ -397,6 +472,37 @@ impl Cluster {
     #[must_use]
     pub fn proc_stats(&self, rank: ProcId) -> ProcStats {
         self.state.procs[rank.0 as usize].stats.borrow().clone()
+    }
+
+    /// The communication failure that poisoned `rank`, if any.
+    #[must_use]
+    pub fn comm_error(&self, rank: ProcId) -> Option<crate::CommError> {
+        self.state.procs[rank.0 as usize].comm_error.borrow().clone()
+    }
+
+    /// Injected-fault and link-layer counters. All-zero when the cluster
+    /// was built without a fault plan.
+    #[must_use]
+    pub fn fault_report(&self) -> FaultReport {
+        let injected = self
+            .state
+            .faults
+            .as_ref()
+            .map(|f| f.counts())
+            .unwrap_or_default();
+        let mut link = LinkStats::default();
+        for node in &self.state.nodes {
+            if let Some(l) = &node.link {
+                let s = l.stats();
+                link.retransmits += s.retransmits;
+                link.acks_sent += s.acks_sent;
+                link.nacks_sent += s.nacks_sent;
+                link.dups_discarded += s.dups_discarded;
+                link.held_out_of_order += s.held_out_of_order;
+                link.unreachable += s.unreachable;
+            }
+        }
+        FaultReport { injected, link }
     }
 
     /// Aggregate Table 6-style traffic report over the elapsed run.

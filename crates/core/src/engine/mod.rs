@@ -8,6 +8,7 @@
 
 pub(crate) mod hardware;
 pub(crate) mod proxy;
+pub(crate) mod reliable;
 pub(crate) mod syscall;
 
 use bytes::Bytes;
@@ -19,9 +20,6 @@ use crate::cluster::{ClusterState, NodeState, ProcState};
 
 /// Cache-line granularity used to charge per-line PIO costs.
 pub(crate) const LINE_BYTES: u32 = 64;
-
-/// Delay before re-probing a remote queue that was empty on DEQ.
-pub(crate) const DEQ_RETRY_US: f64 = 10.0;
 
 /// PUT/ENQ payloads at or below this size are copied into the command
 /// queue entry at submission time (as real proxy queue entries hold their
@@ -137,6 +135,16 @@ pub(crate) enum WireMsg {
     Ack {
         token: u64,
     },
+    /// Link-layer acknowledgement of sequenced packet `seq` (only present
+    /// when reliable delivery is engaged).
+    LinkAck {
+        seq: u64,
+    },
+    /// Link-layer retransmission request for packet `seq` (checksum or
+    /// corruption failure at the receiver).
+    LinkNack {
+        seq: u64,
+    },
 }
 
 impl WireMsg {
@@ -181,6 +189,8 @@ pub(crate) enum Ccb {
         lsync: Option<FlagId>,
         target: RemoteQueue,
         nbytes: u32,
+        /// Empty re-probes so far, indexing [`crate::RetryPolicy::delay_us`].
+        attempts: u32,
     },
 }
 
@@ -195,20 +205,32 @@ pub(crate) async fn forward_rx(port: NetPort<WireMsg>, input: Channel<ProxyInput
 }
 
 /// Lazily grown flag counter of `proc` (flag slots are deterministic, so
-/// peers may name a slot before its owner first touches it).
+/// peers may name a slot before its owner first touches it). Counters
+/// created after the process was poisoned are pre-bumped so waiters wake.
 pub(crate) fn flag_counter(ps: &ProcState, id: FlagId) -> Counter {
+    let poisoned = ps.comm_error.borrow().is_some();
     let mut flags = ps.flags.borrow_mut();
     while flags.len() <= id.0 as usize {
-        flags.push(Counter::new());
+        let c = Counter::new();
+        if poisoned {
+            c.add(reliable::POISON_BUMP);
+        }
+        flags.push(c);
     }
     flags[id.0 as usize].clone()
 }
 
-/// Lazily grown remote-queue channel of `proc`.
+/// Lazily grown remote-queue channel of `proc`. Channels created after
+/// the process was poisoned start closed.
 pub(crate) fn queue_channel(ps: &ProcState, id: RqId) -> Channel<Bytes> {
+    let poisoned = ps.comm_error.borrow().is_some();
     let mut queues = ps.queues.borrow_mut();
     while queues.len() <= id.0 as usize {
-        queues.push(Channel::unbounded());
+        let q: Channel<Bytes> = Channel::unbounded();
+        if poisoned {
+            q.close();
+        }
+        queues.push(q);
     }
     queues[id.0 as usize].clone()
 }

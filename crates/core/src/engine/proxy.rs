@@ -24,10 +24,12 @@ use mproxy_des::Dur;
 
 use crate::addr::{ProcId, RemoteQueue};
 use crate::cluster::{ClusterState, NodeState};
+use crate::engine::reliable::{poison_proc, send_wire, stall_gate};
 use crate::engine::{
     charge, lines, queue_channel, read_mem, set_flag, write_mem, BusyScope, Ccb, Command,
-    ProxyInput, WireMsg, DEQ_RETRY_US,
+    ProxyInput, WireMsg,
 };
+use crate::error::CommError;
 
 struct Costs {
     cq: f64, // C': proxy <-> compute miss
@@ -61,10 +63,20 @@ pub(crate) async fn proxy_main(node: Rc<NodeState>, cs: Rc<ClusterState>) {
     let input = node.proxy_input.clone();
     let k = Costs::of(&cs);
     while let Some(ev) = input.recv().await {
+        // A stalled proxy stops servicing (and acknowledging) everything
+        // until its window ends; input keeps queueing meanwhile.
+        stall_gate(&node, &cs).await;
         let busy = BusyScope::begin(&node, &cs);
         match ev {
             ProxyInput::Cmd(cmd) => handle_command(&node, &cs, &k, cmd).await,
-            ProxyInput::Pkt(pkt) => handle_packet(&node, &cs, &k, pkt.message).await,
+            ProxyInput::Pkt(pkt) => match node.link.clone() {
+                Some(link) => {
+                    for msg in link.accept(pkt).await {
+                        handle_packet(&node, &cs, &k, msg).await;
+                    }
+                }
+                None => handle_packet(&node, &cs, &k, pkt.message).await,
+            },
             ProxyInput::RetryDeq(token) => retry_deq(&node, &cs, &k, token).await,
         }
         drop(busy);
@@ -122,20 +134,21 @@ async fn handle_command(node: &NodeState, cs: &ClusterState, k: &Costs, cmd: Com
                 (node.id, token)
             });
             let dst_node = cs.proc(dst).node;
-            node.port
-                .send(
-                    dst_node,
-                    WireMsg::PutData {
-                        dst,
-                        raddr,
-                        data,
-                        rsync,
-                        ack,
-                        dma,
-                    },
-                    0,
-                )
-                .await;
+            send_wire(
+                node,
+                dst_node,
+                WireMsg::PutData {
+                    dst,
+                    raddr,
+                    data,
+                    rsync,
+                    ack,
+                    dma,
+                },
+                0,
+                Some(src),
+            )
+            .await;
         }
         Command::Get {
             src,
@@ -158,21 +171,22 @@ async fn handle_command(node: &NodeState, cs: &ClusterState, k: &Costs, cmd: Com
                 },
             );
             let dst_node = cs.proc(dst).node;
-            node.port
-                .send(
-                    dst_node,
-                    WireMsg::GetReq {
-                        dst,
-                        raddr,
-                        nbytes,
-                        rsync,
-                        origin: node.id,
-                        token,
-                        dma,
-                    },
-                    0,
-                )
-                .await;
+            send_wire(
+                node,
+                dst_node,
+                WireMsg::GetReq {
+                    dst,
+                    raddr,
+                    nbytes,
+                    rsync,
+                    origin: node.id,
+                    token,
+                    dma,
+                },
+                0,
+                Some(src),
+            )
+            .await;
         }
         Command::Enq {
             src,
@@ -196,19 +210,20 @@ async fn handle_command(node: &NodeState, cs: &ClusterState, k: &Costs, cmd: Com
                 (node.id, token)
             });
             let dst_node = cs.proc(dst).node;
-            node.port
-                .send(
-                    dst_node,
-                    WireMsg::EnqData {
-                        dst,
-                        rq,
-                        data,
-                        rsync,
-                        ack,
-                    },
-                    0,
-                )
-                .await;
+            send_wire(
+                node,
+                dst_node,
+                WireMsg::EnqData {
+                    dst,
+                    rq,
+                    data,
+                    rsync,
+                    ack,
+                },
+                0,
+                Some(src),
+            )
+            .await;
         }
         Command::Deq {
             src,
@@ -228,22 +243,24 @@ async fn handle_command(node: &NodeState, cs: &ClusterState, k: &Costs, cmd: Com
                     lsync,
                     target: RemoteQueue { proc: dst, rq },
                     nbytes,
+                    attempts: 0,
                 },
             );
             let dst_node = cs.proc(dst).node;
-            node.port
-                .send(
-                    dst_node,
-                    WireMsg::DeqReq {
-                        dst,
-                        rq,
-                        nbytes,
-                        origin: node.id,
-                        token,
-                    },
-                    0,
-                )
-                .await;
+            send_wire(
+                node,
+                dst_node,
+                WireMsg::DeqReq {
+                    dst,
+                    rq,
+                    nbytes,
+                    origin: node.id,
+                    token,
+                },
+                0,
+                Some(src),
+            )
+            .await;
         }
     }
 }
@@ -270,7 +287,7 @@ async fn handle_packet(node: &NodeState, cs: &ClusterState, k: &Costs, msg: Wire
             }
             if let Some((origin, token)) = ack {
                 charge(cs, k.u + k.instr(0.6) + k.u).await;
-                node.port.send(origin, WireMsg::Ack { token }, 0).await;
+                send_wire(node, origin, WireMsg::Ack { token }, 0, None).await;
             }
         }
         WireMsg::GetReq {
@@ -291,9 +308,7 @@ async fn handle_packet(node: &NodeState, cs: &ClusterState, k: &Costs, msg: Wire
                 set_flag(cs, dst, f);
             }
             charge(cs, k.u).await; // launch
-            node.port
-                .send(origin, WireMsg::GetReply { token, data, dma }, 0)
-                .await;
+            send_wire(node, origin, WireMsg::GetReply { token, data, dma }, 0, None).await;
         }
         WireMsg::GetReply { token, data, dma } => {
             charge(cs, k.v + k.instr(0.5)).await; // attach + CCB lookup
@@ -327,7 +342,7 @@ async fn handle_packet(node: &NodeState, cs: &ClusterState, k: &Costs, msg: Wire
             }
             if let Some((origin, token)) = ack {
                 charge(cs, k.u + k.instr(0.6) + k.u).await;
-                node.port.send(origin, WireMsg::Ack { token }, 0).await;
+                send_wire(node, origin, WireMsg::Ack { token }, 0, None).await;
             }
         }
         WireMsg::DeqReq {
@@ -345,21 +360,21 @@ async fn handle_packet(node: &NodeState, cs: &ClusterState, k: &Costs, msg: Wire
                     charge(cs, k.u + k.instr(0.7)).await; // reply header
                     push_data(node, cs, k, nbytes.min(data.len() as u32), false).await;
                     charge(cs, k.u).await;
-                    node.port
-                        .send(
-                            origin,
-                            WireMsg::DeqReply {
-                                token,
-                                data: Some(data),
-                            },
-                            0,
-                        )
-                        .await;
+                    send_wire(
+                        node,
+                        origin,
+                        WireMsg::DeqReply {
+                            token,
+                            data: Some(data),
+                        },
+                        0,
+                        None,
+                    )
+                    .await;
                 }
                 None => {
                     charge(cs, k.u + k.instr(0.3) + k.u).await;
-                    node.port
-                        .send(origin, WireMsg::DeqReply { token, data: None }, 0)
+                    send_wire(node, origin, WireMsg::DeqReply { token, data: None }, 0, None)
                         .await;
                 }
             }
@@ -389,12 +404,30 @@ async fn handle_packet(node: &NodeState, cs: &ClusterState, k: &Costs, msg: Wire
                     }
                 }
                 None => {
-                    // Remote queue empty: re-probe after a backoff without
-                    // burning proxy time in between.
+                    // Remote queue empty: re-probe after the policy's
+                    // backoff without burning proxy time in between; a
+                    // bounded schedule eventually times the DEQ out.
+                    let Some(Ccb::Deq { proc, attempts, .. }) =
+                        node.ccbs.borrow().get(&token).cloned()
+                    else {
+                        return;
+                    };
+                    let policy = cs.spec.deq_retry;
+                    if policy.give_up_after(attempts + 1) {
+                        node.ccbs.borrow_mut().remove(&token);
+                        poison_proc(cs.proc(proc), CommError::Timeout);
+                        return;
+                    }
+                    let wait = policy.delay_us(attempts);
+                    if let Some(Ccb::Deq { attempts, .. }) =
+                        node.ccbs.borrow_mut().get_mut(&token)
+                    {
+                        *attempts += 1;
+                    }
                     let ctx = cs.ctx.clone();
                     let input = node.proxy_input.clone();
                     cs.ctx.spawn(async move {
-                        ctx.delay(Dur::from_us(DEQ_RETRY_US)).await;
+                        ctx.delay(Dur::from_us(wait)).await;
                         let _ = input.try_send(ProxyInput::RetryDeq(token));
                     });
                 }
@@ -412,28 +445,41 @@ async fn handle_packet(node: &NodeState, cs: &ClusterState, k: &Costs, msg: Wire
                 set_flag(cs, proc, f);
             }
         }
+        // Link-layer control never reaches the protocol handlers: it is
+        // consumed by `LinkLayer::accept`, and without a link layer it is
+        // never sent.
+        WireMsg::LinkAck { .. } | WireMsg::LinkNack { .. } => {
+            debug_assert!(false, "link control leaked into protocol handler");
+        }
     }
 }
 
 async fn retry_deq(node: &NodeState, cs: &ClusterState, k: &Costs, token: u64) {
-    let Some(Ccb::Deq { target, nbytes, .. }) = node.ccbs.borrow().get(&token).cloned() else {
+    let Some(Ccb::Deq {
+        proc,
+        target,
+        nbytes,
+        ..
+    }) = node.ccbs.borrow().get(&token).cloned()
+    else {
         return;
     };
     charge(cs, k.instr(0.2) + k.u + k.u).await; // rebuild request + launch
     let dst_node = cs.proc(target.proc).node;
-    node.port
-        .send(
-            dst_node,
-            WireMsg::DeqReq {
-                dst: target.proc,
-                rq: target.rq,
-                nbytes,
-                origin: node.id,
-                token,
-            },
-            0,
-        )
-        .await;
+    send_wire(
+        node,
+        dst_node,
+        WireMsg::DeqReq {
+            dst: target.proc,
+            rq: target.rq,
+            nbytes,
+            origin: node.id,
+            token,
+        },
+        0,
+        Some(proc),
+    )
+    .await;
 }
 
 /// Re-export for `ProcId` visibility in doc links.

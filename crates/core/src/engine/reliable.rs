@@ -1,0 +1,567 @@
+//! Reliable delivery over the (possibly faulty) interconnect.
+//!
+//! The paper assumes a lossless network; this module removes that
+//! assumption so the fault-injection substrate (`mproxy_simnet::FaultPlan`)
+//! can exercise the fabric. Each node's communication agent owns one
+//! [`LinkLayer`] implementing a per-destination sliding protocol:
+//!
+//! * every data message carries a per-destination **sequence number**
+//!   (starting at 1; 0 marks unsequenced control traffic) and a structural
+//!   **checksum** of its payload;
+//! * the receiving agent **acknowledges** every sequenced packet — also
+//!   duplicates, so lost ACKs heal — **NACKs** checksum failures for an
+//!   immediate resend, discards duplicates, and holds out-of-order
+//!   arrivals in a reorder buffer until the gap fills, delivering
+//!   **exactly once, in order**;
+//! * the sender keeps unacknowledged messages in a pending table and
+//!   retransmits on a timer following [`RetryPolicy`] exponential backoff;
+//!   when the budget is exhausted the destination is declared dead and
+//!   the submitting process is failed with [`CommError::Unreachable`]
+//!   instead of waiting forever.
+//!
+//! The layer is engaged only when the cluster is built with a fault plan
+//! ([`crate::Cluster::new_with_faults`]); fault-free clusters take the
+//! original direct send path and their timing is bit-identical to before.
+//!
+//! Failure surfacing: the discrete-event executor has no cancellation, so
+//! a failed process is *poisoned* — its [`CommError`] is recorded, every
+//! synchronisation-flag counter is bumped past any realistic target to
+//! wake waiters, and its receive queues are closed. Waiters using
+//! [`crate::Proc::wait_flag_result`] observe the error; plain waits panic
+//! with the error message rather than deadlock.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use mproxy_des::{Dur, SimCtx, SimTime};
+use mproxy_simnet::{NetPort, NodeId, Packet};
+
+use crate::addr::ProcId;
+use crate::cluster::{ClusterState, NodeState, ProcState};
+use crate::engine::WireMsg;
+use crate::error::CommError;
+use crate::retry::RetryPolicy;
+
+/// Flag counters of a poisoned process are advanced by this much, waking
+/// any waiter regardless of its target.
+pub(crate) const POISON_BUMP: u64 = 1 << 32;
+
+/// Marks `ps` as failed with `err`: records the error, releases all flag
+/// waiters, and closes receive queues. Idempotent (first error wins).
+pub(crate) fn poison_proc(ps: &ProcState, err: CommError) {
+    {
+        let mut slot = ps.comm_error.borrow_mut();
+        if slot.is_some() {
+            return;
+        }
+        *slot = Some(err);
+    }
+    for c in ps.flags.borrow().iter() {
+        c.add(POISON_BUMP);
+    }
+    for q in ps.queues.borrow().iter() {
+        q.close();
+    }
+}
+
+/// Structural FNV-1a checksum of a wire message. Covers every field the
+/// receiver acts on; corruption is modelled by the packet's `corrupted`
+/// flag, which receivers treat as a mismatch.
+pub(crate) fn wire_checksum(msg: &WireMsg) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    struct Fnv(u64);
+    impl Fnv {
+        fn byte(&mut self, b: u8) {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        fn u64(&mut self, v: u64) {
+            for b in v.to_le_bytes() {
+                self.byte(b);
+            }
+        }
+        fn u32(&mut self, v: u32) {
+            self.u64(u64::from(v));
+        }
+        fn bytes(&mut self, data: &[u8]) {
+            self.u64(data.len() as u64);
+            for &b in data {
+                self.byte(b);
+            }
+        }
+        fn flag(&mut self, f: Option<crate::addr::FlagId>) {
+            match f {
+                Some(id) => {
+                    self.byte(1);
+                    self.u32(id.0);
+                }
+                None => self.byte(0),
+            }
+        }
+        fn ack(&mut self, a: Option<(usize, u64)>) {
+            match a {
+                Some((node, token)) => {
+                    self.byte(1);
+                    self.u64(node as u64);
+                    self.u64(token);
+                }
+                None => self.byte(0),
+            }
+        }
+    }
+    let mut h = Fnv(OFFSET);
+    match msg {
+        WireMsg::PutData {
+            dst,
+            raddr,
+            data,
+            rsync,
+            ack,
+            dma,
+        } => {
+            h.byte(1);
+            h.u32(dst.0);
+            h.u64(raddr.0);
+            h.bytes(data);
+            h.flag(*rsync);
+            h.ack(*ack);
+            h.byte(u8::from(*dma));
+        }
+        WireMsg::GetReq {
+            dst,
+            raddr,
+            nbytes,
+            rsync,
+            origin,
+            token,
+            dma,
+        } => {
+            h.byte(2);
+            h.u32(dst.0);
+            h.u64(raddr.0);
+            h.u32(*nbytes);
+            h.flag(*rsync);
+            h.u64(*origin as u64);
+            h.u64(*token);
+            h.byte(u8::from(*dma));
+        }
+        WireMsg::GetReply { token, data, dma } => {
+            h.byte(3);
+            h.u64(*token);
+            h.bytes(data);
+            h.byte(u8::from(*dma));
+        }
+        WireMsg::EnqData {
+            dst,
+            rq,
+            data,
+            rsync,
+            ack,
+        } => {
+            h.byte(4);
+            h.u32(dst.0);
+            h.u32(rq.0);
+            h.bytes(data);
+            h.flag(*rsync);
+            h.ack(*ack);
+        }
+        WireMsg::DeqReq {
+            dst,
+            rq,
+            nbytes,
+            origin,
+            token,
+        } => {
+            h.byte(5);
+            h.u32(dst.0);
+            h.u32(rq.0);
+            h.u32(*nbytes);
+            h.u64(*origin as u64);
+            h.u64(*token);
+        }
+        WireMsg::DeqReply { token, data } => {
+            h.byte(6);
+            h.u64(*token);
+            match data {
+                Some(d) => {
+                    h.byte(1);
+                    h.bytes(d);
+                }
+                None => h.byte(0),
+            }
+        }
+        WireMsg::Ack { token } => {
+            h.byte(7);
+            h.u64(*token);
+        }
+        WireMsg::LinkAck { seq } => {
+            h.byte(8);
+            h.u64(*seq);
+        }
+        WireMsg::LinkNack { seq } => {
+            h.byte(9);
+            h.u64(*seq);
+        }
+    }
+    h.0
+}
+
+/// Link-layer protocol counters of one node (inputs to
+/// [`crate::FaultReport`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Timer- and NACK-driven retransmissions.
+    pub retransmits: u64,
+    /// Sequenced packets acknowledged on arrival.
+    pub acks_sent: u64,
+    /// Checksum failures NACKed back to the sender.
+    pub nacks_sent: u64,
+    /// Duplicate arrivals discarded by sequence check.
+    pub dups_discarded: u64,
+    /// Out-of-order arrivals parked in the reorder buffer.
+    pub held_out_of_order: u64,
+    /// Pending sends abandoned after budget exhaustion.
+    pub unreachable: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    msg: WireMsg,
+    payload: u32,
+    /// Retransmissions performed so far (the original send is not counted).
+    attempts: u32,
+    /// Process to fail if the budget runs out (None for replies whose
+    /// originating process the responder does not know).
+    owner: Option<ProcId>,
+}
+
+/// Per-node reliable-delivery state. Self-contained (owns clones of the
+/// sim context and network port) so retransmission timers capture only an
+/// `Rc<LinkLayer>`.
+pub(crate) struct LinkLayer {
+    ctx: SimCtx,
+    node: NodeId,
+    port: NetPort<WireMsg>,
+    policy: RetryPolicy,
+    procs: Vec<Rc<ProcState>>,
+    next_seq: RefCell<HashMap<NodeId, u64>>,
+    pending: RefCell<HashMap<(NodeId, u64), Pending>>,
+    /// Next expected sequence per source node (first is 1).
+    expected: RefCell<HashMap<NodeId, u64>>,
+    /// Out-of-order arrivals per source, keyed by sequence.
+    held: RefCell<HashMap<NodeId, BTreeMap<u64, WireMsg>>>,
+    stats: RefCell<LinkStats>,
+    /// Set by [`LinkLayer::quiesce`] at cluster shutdown: later sends go
+    /// out untracked (fire-and-forget) instead of arming retransmission
+    /// timers against peers that no longer service their input.
+    closed: Cell<bool>,
+}
+
+impl LinkLayer {
+    pub(crate) fn new(
+        ctx: SimCtx,
+        node: NodeId,
+        port: NetPort<WireMsg>,
+        policy: RetryPolicy,
+        procs: Vec<Rc<ProcState>>,
+    ) -> Rc<LinkLayer> {
+        Rc::new(LinkLayer {
+            ctx,
+            node,
+            port,
+            policy,
+            procs,
+            next_seq: RefCell::new(HashMap::new()),
+            pending: RefCell::new(HashMap::new()),
+            expected: RefCell::new(HashMap::new()),
+            held: RefCell::new(HashMap::new()),
+            stats: RefCell::new(LinkStats::default()),
+            closed: Cell::new(false),
+        })
+    }
+
+    pub(crate) fn stats(&self) -> LinkStats {
+        *self.stats.borrow()
+    }
+
+    /// Sends `msg` under reliable delivery: stamp the next sequence for
+    /// `dst`, remember it as pending, transmit, and arm the first
+    /// retransmission timer.
+    pub(crate) async fn send_reliable(
+        self: Rc<Self>,
+        dst: NodeId,
+        msg: WireMsg,
+        payload: u32,
+        owner: Option<ProcId>,
+    ) {
+        let seq = {
+            let mut m = self.next_seq.borrow_mut();
+            let slot = m.entry(dst).or_insert(0);
+            *slot += 1;
+            *slot
+        };
+        let checksum = wire_checksum(&msg);
+        if self.closed.get() {
+            // Shutdown linger: a stalled engine draining its backlog after
+            // the run ended may still answer peers that are already gone.
+            // Transmit once, never retry, never declare anyone unreachable.
+            self.port
+                .send_tagged(dst, msg, payload, seq, checksum)
+                .await;
+            return;
+        }
+        self.pending.borrow_mut().insert(
+            (dst, seq),
+            Pending {
+                msg: msg.clone(),
+                payload,
+                attempts: 0,
+                owner,
+            },
+        );
+        self.port
+            .send_tagged(dst, msg, payload, seq, checksum)
+            .await;
+        self.arm_timer(dst, seq, 0);
+    }
+
+    /// Spawns the retransmission timer for `(dst, seq)` at retry `attempt`.
+    fn arm_timer(self: &Rc<Self>, dst: NodeId, seq: u64, attempt: u32) {
+        let link = Rc::clone(self);
+        self.ctx.clone().spawn(async move {
+            link.ctx
+                .delay(Dur::from_us(link.policy.delay_us(attempt)))
+                .await;
+            // Still pending at the same retry generation? (An ACK removes
+            // the entry; a NACK resend leaves the generation unchanged, so
+            // this timer stays the single backstop.)
+            let entry = link
+                .pending
+                .borrow()
+                .get(&(dst, seq))
+                .filter(|p| p.attempts == attempt)
+                .map(|p| (p.msg.clone(), p.payload));
+            let Some((msg, payload)) = entry else { return };
+            let sent_so_far = attempt + 1;
+            if link.policy.give_up_after(sent_so_far) {
+                let owner = link
+                    .pending
+                    .borrow_mut()
+                    .remove(&(dst, seq))
+                    .and_then(|p| p.owner);
+                link.stats.borrow_mut().unreachable += 1;
+                if let Some(p) = owner {
+                    poison_proc(
+                        &link.procs[p.0 as usize],
+                        CommError::Unreachable {
+                            dst,
+                            attempts: sent_so_far,
+                        },
+                    );
+                }
+                return;
+            }
+            let next = attempt + 1;
+            if let Some(p) = link.pending.borrow_mut().get_mut(&(dst, seq)) {
+                p.attempts = next;
+            }
+            link.stats.borrow_mut().retransmits += 1;
+            let checksum = wire_checksum(&msg);
+            link.port.send_tagged(dst, msg, payload, seq, checksum).await;
+            link.arm_timer(dst, seq, next);
+        });
+    }
+
+    /// Abandons all retransmission state. Called at cluster shutdown:
+    /// once every process body has finished, all message-level results
+    /// have provably arrived, so any still-pending entry is only a
+    /// link-level ACK the peer never echoed (the peer may already be
+    /// gone). Clearing the map lets outstanding timers expire silently
+    /// instead of retransmitting into closed engines until they declare
+    /// the node unreachable.
+    pub(crate) fn quiesce(&self) {
+        self.closed.set(true);
+        self.pending.borrow_mut().clear();
+        self.held.borrow_mut().clear();
+    }
+
+    /// Sends unsequenced control traffic (ACK/NACK). Not retransmitted:
+    /// a lost ACK is healed by the peer's timer plus our duplicate re-ACK;
+    /// a lost NACK by the peer's timer alone.
+    async fn send_control(&self, dst: NodeId, msg: WireMsg) {
+        let checksum = wire_checksum(&msg);
+        self.port.send_tagged(dst, msg, 0, 0, checksum).await;
+    }
+
+    /// Processes one arriving packet, returning the data messages now
+    /// deliverable to the protocol engine (in order; possibly several when
+    /// a gap closes, possibly none).
+    pub(crate) async fn accept(&self, pkt: Packet<WireMsg>) -> Vec<WireMsg> {
+        let Packet {
+            src,
+            seq,
+            checksum,
+            corrupted,
+            message,
+            ..
+        } = pkt;
+        let valid = !corrupted && checksum == wire_checksum(&message);
+        match message {
+            WireMsg::LinkAck { seq: acked } => {
+                // Corrupted control is dropped; recovery is timer-driven.
+                if valid {
+                    self.pending.borrow_mut().remove(&(src, acked));
+                }
+                Vec::new()
+            }
+            WireMsg::LinkNack { seq: nacked } => {
+                if valid {
+                    self.stats.borrow_mut().retransmits += 1;
+                    let entry = self
+                        .pending
+                        .borrow()
+                        .get(&(src, nacked))
+                        .map(|p| (p.msg.clone(), p.payload));
+                    if let Some((msg, payload)) = entry {
+                        let ck = wire_checksum(&msg);
+                        self.port.send_tagged(src, msg, payload, nacked, ck).await;
+                    }
+                }
+                Vec::new()
+            }
+            message if seq == 0 => {
+                // Unsequenced data only occurs when reliability is off for
+                // the sender; deliver as-is (nothing to ACK or dedup).
+                if valid {
+                    vec![message]
+                } else {
+                    Vec::new()
+                }
+            }
+            message => {
+                if !valid {
+                    self.stats.borrow_mut().nacks_sent += 1;
+                    self.send_control(src, WireMsg::LinkNack { seq }).await;
+                    return Vec::new();
+                }
+                // ACK everything valid — including duplicates, so the
+                // sender stops retransmitting even if its first ACK died.
+                self.stats.borrow_mut().acks_sent += 1;
+                self.send_control(src, WireMsg::LinkAck { seq }).await;
+                let expected = *self.expected.borrow().get(&src).unwrap_or(&1);
+                if seq < expected {
+                    self.stats.borrow_mut().dups_discarded += 1;
+                    return Vec::new();
+                }
+                if seq > expected {
+                    // Re-inserting a duplicate of a held seq just overwrites
+                    // it with identical content.
+                    self.stats.borrow_mut().held_out_of_order += 1;
+                    self.held
+                        .borrow_mut()
+                        .entry(src)
+                        .or_default()
+                        .insert(seq, message);
+                    return Vec::new();
+                }
+                let mut out = vec![message];
+                let mut next = expected + 1;
+                {
+                    let mut held = self.held.borrow_mut();
+                    if let Some(h) = held.get_mut(&src) {
+                        while let Some(m) = h.remove(&next) {
+                            out.push(m);
+                            next += 1;
+                        }
+                    }
+                }
+                self.expected.borrow_mut().insert(src, next);
+                out
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for LinkLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkLayer")
+            .field("node", &self.node)
+            .field("pending", &self.pending.borrow().len())
+            .finish()
+    }
+}
+
+/// Sends a wire message from `node`, through its link layer when
+/// reliability is engaged, directly otherwise. `owner` names the process
+/// to fail if the destination never acknowledges.
+pub(crate) async fn send_wire(
+    node: &NodeState,
+    dst: NodeId,
+    msg: WireMsg,
+    payload: u32,
+    owner: Option<ProcId>,
+) {
+    match &node.link {
+        Some(link) => Rc::clone(link).send_reliable(dst, msg, payload, owner).await,
+        None => node.port.send(dst, msg, payload).await,
+    }
+}
+
+/// If the fault plan stalls `node` right now, freezes the caller (the
+/// node's communication agent) until the window ends.
+pub(crate) async fn stall_gate(node: &NodeState, cs: &ClusterState) {
+    let Some(faults) = &cs.faults else { return };
+    // Re-check after waking: windows may overlap or abut.
+    while let Some(end_us) = faults.stall_end(node.id, cs.ctx.now().as_us()) {
+        cs.ctx
+            .delay_until(SimTime::ZERO + Dur::from_us(end_us))
+            .await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Addr, FlagId};
+    use bytes::Bytes;
+
+    fn put(data: &'static [u8], rsync: Option<FlagId>) -> WireMsg {
+        WireMsg::PutData {
+            dst: ProcId(1),
+            raddr: Addr(64),
+            data: Bytes::from_static(data),
+            rsync,
+            ack: None,
+            dma: false,
+        }
+    }
+
+    #[test]
+    fn checksum_distinguishes_fields_and_variants() {
+        let a = wire_checksum(&put(b"hello", None));
+        let b = wire_checksum(&put(b"hellp", None));
+        let c = wire_checksum(&put(b"hello", Some(FlagId(0))));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(
+            wire_checksum(&WireMsg::Ack { token: 5 }),
+            wire_checksum(&WireMsg::LinkAck { seq: 5 })
+        );
+        // Deterministic.
+        assert_eq!(a, wire_checksum(&put(b"hello", None)));
+    }
+
+    #[test]
+    fn checksum_covers_deq_reply_none_vs_empty() {
+        let none = wire_checksum(&WireMsg::DeqReply {
+            token: 1,
+            data: None,
+        });
+        let empty = wire_checksum(&WireMsg::DeqReply {
+            token: 1,
+            data: Some(Bytes::new()),
+        });
+        assert_ne!(none, empty);
+    }
+}

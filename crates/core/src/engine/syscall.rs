@@ -14,10 +14,11 @@ use mproxy_des::Dur;
 
 use crate::addr::{ProcId, RemoteQueue};
 use crate::cluster::{ClusterState, NodeState};
+use crate::engine::reliable::{poison_proc, send_wire, stall_gate};
 use crate::engine::{
     charge, lines, queue_channel, read_mem, set_flag, write_mem, Ccb, Command, WireMsg,
-    DEQ_RETRY_US,
 };
+use crate::error::CommError;
 
 struct Costs {
     sys: f64,  // system-call overhead
@@ -73,20 +74,21 @@ pub(crate) async fn user_submit(node: &Rc<NodeState>, cs: &Rc<ClusterState>, cmd
                 (node.id, token)
             });
             let dst_node = cs.proc(dst).node;
-            node.port
-                .send(
-                    dst_node,
-                    WireMsg::PutData {
-                        dst,
-                        raddr,
-                        data,
-                        rsync,
-                        ack,
-                        dma,
-                    },
-                    0,
-                )
-                .await;
+            send_wire(
+                node,
+                dst_node,
+                WireMsg::PutData {
+                    dst,
+                    raddr,
+                    data,
+                    rsync,
+                    ack,
+                    dma,
+                },
+                0,
+                Some(src),
+            )
+            .await;
         }
         Command::Get {
             src,
@@ -109,21 +111,22 @@ pub(crate) async fn user_submit(node: &Rc<NodeState>, cs: &Rc<ClusterState>, cmd
             );
             charge(cs, k.u).await;
             let dst_node = cs.proc(dst).node;
-            node.port
-                .send(
-                    dst_node,
-                    WireMsg::GetReq {
-                        dst,
-                        raddr,
-                        nbytes,
-                        rsync,
-                        origin: node.id,
-                        token,
-                        dma,
-                    },
-                    0,
-                )
-                .await;
+            send_wire(
+                node,
+                dst_node,
+                WireMsg::GetReq {
+                    dst,
+                    raddr,
+                    nbytes,
+                    rsync,
+                    origin: node.id,
+                    token,
+                    dma,
+                },
+                0,
+                Some(src),
+            )
+            .await;
         }
         Command::Enq {
             src,
@@ -145,19 +148,20 @@ pub(crate) async fn user_submit(node: &Rc<NodeState>, cs: &Rc<ClusterState>, cmd
                 (node.id, token)
             });
             let dst_node = cs.proc(dst).node;
-            node.port
-                .send(
-                    dst_node,
-                    WireMsg::EnqData {
-                        dst,
-                        rq,
-                        data,
-                        rsync,
-                        ack,
-                    },
-                    0,
-                )
-                .await;
+            send_wire(
+                node,
+                dst_node,
+                WireMsg::EnqData {
+                    dst,
+                    rq,
+                    data,
+                    rsync,
+                    ack,
+                },
+                0,
+                Some(src),
+            )
+            .await;
         }
         Command::Deq {
             src,
@@ -176,23 +180,25 @@ pub(crate) async fn user_submit(node: &Rc<NodeState>, cs: &Rc<ClusterState>, cmd
                     lsync,
                     target: RemoteQueue { proc: dst, rq },
                     nbytes,
+                    attempts: 0,
                 },
             );
             charge(cs, k.u).await;
             let dst_node = cs.proc(dst).node;
-            node.port
-                .send(
-                    dst_node,
-                    WireMsg::DeqReq {
-                        dst,
-                        rq,
-                        nbytes,
-                        origin: node.id,
-                        token,
-                    },
-                    0,
-                )
-                .await;
+            send_wire(
+                node,
+                dst_node,
+                WireMsg::DeqReq {
+                    dst,
+                    rq,
+                    nbytes,
+                    origin: node.id,
+                    token,
+                },
+                0,
+                Some(src),
+            )
+            .await;
         }
     }
 }
@@ -203,10 +209,25 @@ pub(crate) async fn dispatch_main(node: Rc<NodeState>, cs: Rc<ClusterState>) {
     let port = node.port.clone();
     loop {
         let Some(pkt) = port.recv().await else { break };
-        let node = Rc::clone(&node);
-        let cs2 = Rc::clone(&cs);
-        cs.ctx
-            .spawn(async move { handle_interrupt(&node, &cs2, pkt.message).await });
+        // A stalled node's kernel services no interrupts until the window
+        // ends; arrivals keep queueing in the FIFO.
+        stall_gate(&node, &cs).await;
+        match node.link.clone() {
+            Some(link) => {
+                for msg in link.accept(pkt).await {
+                    let node = Rc::clone(&node);
+                    let cs2 = Rc::clone(&cs);
+                    cs.ctx
+                        .spawn(async move { handle_interrupt(&node, &cs2, msg).await });
+                }
+            }
+            None => {
+                let node = Rc::clone(&node);
+                let cs2 = Rc::clone(&cs);
+                cs.ctx
+                    .spawn(async move { handle_interrupt(&node, &cs2, pkt.message).await });
+            }
+        }
     }
 }
 
@@ -225,6 +246,8 @@ fn target_proc(node: &NodeState, msg: &WireMsg) -> Option<ProcId> {
             | Some(Ccb::Deq { proc, .. }) => Some(*proc),
             None => None,
         },
+        // Consumed by the link layer before dispatch.
+        WireMsg::LinkAck { .. } | WireMsg::LinkNack { .. } => None,
     }
 }
 
@@ -261,7 +284,7 @@ async fn handle_interrupt(node: &Rc<NodeState>, cs: &Rc<ClusterState>, msg: Wire
             }
             if let Some((origin, token)) = ack {
                 charge(cs, k.u).await;
-                node.port.send(origin, WireMsg::Ack { token }, 0).await;
+                send_wire(node, origin, WireMsg::Ack { token }, 0, None).await;
             }
         }
         WireMsg::GetReq {
@@ -283,9 +306,7 @@ async fn handle_interrupt(node: &Rc<NodeState>, cs: &Rc<ClusterState>, msg: Wire
                 charge(cs, k.c).await;
                 set_flag(cs, dst, f);
             }
-            node.port
-                .send(origin, WireMsg::GetReply { token, data, dma }, 0)
-                .await;
+            send_wire(node, origin, WireMsg::GetReply { token, data, dma }, 0, None).await;
         }
         WireMsg::GetReply { token, data, dma } => {
             let ccb = node.ccbs.borrow_mut().remove(&token);
@@ -317,7 +338,7 @@ async fn handle_interrupt(node: &Rc<NodeState>, cs: &Rc<ClusterState>, msg: Wire
             }
             if let Some((origin, token)) = ack {
                 charge(cs, k.u).await;
-                node.port.send(origin, WireMsg::Ack { token }, 0).await;
+                send_wire(node, origin, WireMsg::Ack { token }, 0, None).await;
             }
         }
         WireMsg::DeqReq {
@@ -335,20 +356,20 @@ async fn handle_interrupt(node: &Rc<NodeState>, cs: &Rc<ClusterState>, msg: Wire
                         k.c + f64::from(lines(nbytes.min(data.len() as u32))) * (k.c + k.u),
                     )
                     .await;
-                    node.port
-                        .send(
-                            origin,
-                            WireMsg::DeqReply {
-                                token,
-                                data: Some(data),
-                            },
-                            0,
-                        )
-                        .await;
+                    send_wire(
+                        node,
+                        origin,
+                        WireMsg::DeqReply {
+                            token,
+                            data: Some(data),
+                        },
+                        0,
+                        None,
+                    )
+                    .await;
                 }
                 None => {
-                    node.port
-                        .send(origin, WireMsg::DeqReply { token, data: None }, 0)
+                    send_wire(node, origin, WireMsg::DeqReply { token, data: None }, 0, None)
                         .await;
                 }
             }
@@ -374,12 +395,28 @@ async fn handle_interrupt(node: &Rc<NodeState>, cs: &Rc<ClusterState>, msg: Wire
                 }
             }
             None => {
-                // Kernel timer re-issues the probe after a backoff.
+                // Kernel timer re-issues the probe after the policy's
+                // backoff; a bounded schedule eventually times out.
+                let Some(Ccb::Deq { proc, attempts, .. }) =
+                    node.ccbs.borrow().get(&token).cloned()
+                else {
+                    return;
+                };
+                let policy = cs.spec.deq_retry;
+                if policy.give_up_after(attempts + 1) {
+                    node.ccbs.borrow_mut().remove(&token);
+                    poison_proc(cs.proc(proc), CommError::Timeout);
+                    return;
+                }
+                let wait = policy.delay_us(attempts);
+                if let Some(Ccb::Deq { attempts, .. }) = node.ccbs.borrow_mut().get_mut(&token) {
+                    *attempts += 1;
+                }
                 let ctx = cs.ctx.clone();
                 let node = Rc::clone(node);
                 let cs2 = Rc::clone(cs);
                 cs.ctx.spawn(async move {
-                    ctx.delay(Dur::from_us(DEQ_RETRY_US)).await;
+                    ctx.delay(Dur::from_us(wait)).await;
                     let target = match node.ccbs.borrow().get(&token) {
                         Some(Ccb::Deq { target, nbytes, .. }) => Some((*target, *nbytes)),
                         _ => None,
@@ -390,19 +427,20 @@ async fn handle_interrupt(node: &Rc<NodeState>, cs: &Rc<ClusterState>, msg: Wire
                     let kk = Costs::of(&cs2);
                     let dst_node = cs2.proc(target.proc).node;
                     ctx.delay(Dur::from_us(kk.kp)).await;
-                    node.port
-                        .send(
-                            dst_node,
-                            WireMsg::DeqReq {
-                                dst: target.proc,
-                                rq: target.rq,
-                                nbytes,
-                                origin: node.id,
-                                token,
-                            },
-                            0,
-                        )
-                        .await;
+                    send_wire(
+                        &node,
+                        dst_node,
+                        WireMsg::DeqReq {
+                            dst: target.proc,
+                            rq: target.rq,
+                            nbytes,
+                            origin: node.id,
+                            token,
+                        },
+                        0,
+                        Some(proc),
+                    )
+                    .await;
                 });
             }
         },
@@ -416,6 +454,9 @@ async fn handle_interrupt(node: &Rc<NodeState>, cs: &Rc<ClusterState>, msg: Wire
                 charge(cs, k.c).await;
                 set_flag(cs, proc, f);
             }
+        }
+        WireMsg::LinkAck { .. } | WireMsg::LinkNack { .. } => {
+            debug_assert!(false, "link control leaked into interrupt handler");
         }
     }
     node.add_busy(cs.ctx.now().since(start));

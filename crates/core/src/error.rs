@@ -43,6 +43,16 @@ pub enum CommError {
     QueueEmpty(RqId),
     /// A zero-byte transfer was requested where data is required.
     EmptyTransfer,
+    /// The destination node stopped responding: the reliable link layer
+    /// exhausted its retransmission budget without an acknowledgement.
+    Unreachable {
+        /// The unresponsive node.
+        dst: usize,
+        /// Transmissions attempted before giving up.
+        attempts: u32,
+    },
+    /// A bounded wait or retry schedule ran out of attempts.
+    Timeout,
 }
 
 impl fmt::Display for CommError {
@@ -66,6 +76,10 @@ impl fmt::Display for CommError {
             }
             CommError::QueueEmpty(rq) => write!(f, "queue {rq:?} is empty"),
             CommError::EmptyTransfer => write!(f, "zero-byte transfer"),
+            CommError::Unreachable { dst, attempts } => {
+                write!(f, "node {dst} unreachable after {attempts} transmissions")
+            }
+            CommError::Timeout => write!(f, "operation timed out"),
         }
     }
 }
@@ -90,5 +104,11 @@ mod tests {
             size: 64,
         };
         assert!(e.to_string().contains("exceeds asid0"));
+        let e = CommError::Unreachable {
+            dst: 3,
+            attempts: 8,
+        };
+        assert_eq!(e.to_string(), "node 3 unreachable after 8 transmissions");
+        assert_eq!(CommError::Timeout.to_string(), "operation timed out");
     }
 }

@@ -193,10 +193,41 @@ impl Proc {
 
     /// Waits until `flag` reaches `target`, then charges the cost of the
     /// completing read of the flag line.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the failure message if the process was failed by the
+    /// communication layer while waiting (e.g. destination unreachable
+    /// under fault injection); use [`Proc::wait_flag_result`] to observe
+    /// the failure as an error instead.
     pub async fn wait_flag(&self, flag: &SyncFlag, target: u64) {
+        if let Err(e) = self.wait_flag_result(flag, target).await {
+            panic!("wait_flag on rank {}: {e}", self.id);
+        }
+    }
+
+    /// Like [`Proc::wait_flag`], but surfaces communication failures: if
+    /// the process is poisoned (its operation's destination became
+    /// unreachable, or a bounded retry schedule ran out) while waiting,
+    /// returns the recorded [`CommError`] instead of blocking forever.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CommError`] recorded against this process.
+    pub async fn wait_flag_result(&self, flag: &SyncFlag, target: u64) -> Result<(), CommError> {
         assert_eq!(flag.proc, self.id, "wait_flag on a foreign flag");
         flag.counter.wait_for(target).await;
+        if let Some(e) = self.comm_error() {
+            return Err(e);
+        }
         self.hold_cpu(self.flag_read_cost()).await;
+        Ok(())
+    }
+
+    /// The communication failure that poisoned this process, if any.
+    #[must_use]
+    pub fn comm_error(&self) -> Option<CommError> {
+        self.state().comm_error.borrow().clone()
     }
 
     /// Blocking local dequeue from one of this process's own queues: waits
@@ -307,8 +338,7 @@ impl Proc {
             rsync: rsync.map(|r| self.check_rsync(dst, r)),
             inline: self.capture_inline(laddr, nbytes),
         };
-        self.dispatch(cmd, dst).await;
-        Ok(())
+        self.dispatch(cmd, dst).await
     }
 
     /// `GET`: copies `nbytes` from `raddr` in `asid` to local `laddr`.
@@ -339,8 +369,7 @@ impl Proc {
             lsync: lsync.map(|f| self.own_flag(f)),
             rsync: rsync.map(|r| self.check_rsync(dst, r)),
         };
-        self.dispatch(cmd, dst).await;
-        Ok(())
+        self.dispatch(cmd, dst).await
     }
 
     /// `ENQ`: atomically appends `nbytes` from local `laddr` to remote
@@ -370,8 +399,7 @@ impl Proc {
             rsync: rsync.map(|r| self.check_rsync(rq.proc, r)),
             inline: self.capture_inline(laddr, nbytes),
         };
-        self.dispatch(cmd, rq.proc).await;
-        Ok(())
+        self.dispatch(cmd, rq.proc).await
     }
 
     /// `DEQ`: removes the head of remote queue `rq` into local `laddr`
@@ -389,6 +417,7 @@ impl Proc {
         lsync: Option<&SyncFlag>,
     ) -> Result<(), CommError> {
         let asid = Asid::from(rq.proc);
+        self.check_poisoned()?;
         if nbytes == 0 {
             return Err(CommError::EmptyTransfer);
         }
@@ -406,8 +435,7 @@ impl Proc {
             nbytes,
             lsync: lsync.map(|f| self.own_flag(f)),
         };
-        self.dispatch(cmd, rq.proc).await;
-        Ok(())
+        self.dispatch(cmd, rq.proc).await
     }
 
     // ----- internals -------------------------------------------------------
@@ -459,7 +487,17 @@ impl Proc {
         Ok(())
     }
 
+    /// Rejects new submissions from a process already failed by the
+    /// communication layer.
+    fn check_poisoned(&self) -> Result<(), CommError> {
+        match self.comm_error() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     fn validate_src_perm(&self, asid: Asid, laddr: Addr, nbytes: u32) -> Result<(), CommError> {
+        self.check_poisoned()?;
         if nbytes == 0 {
             return Err(CommError::EmptyTransfer);
         }
@@ -487,12 +525,11 @@ impl Proc {
 
     /// Routes a validated command: same-node operations run directly
     /// through shared memory; remote ones go to the node's engine.
-    async fn dispatch(&self, cmd: Command, dst: ProcId) {
+    async fn dispatch(&self, cmd: Command, dst: ProcId) -> Result<(), CommError> {
         let d = *self.cs.design();
         let same_node = self.cs.proc(dst).node == self.state().node;
         if same_node {
-            self.run_intra_node(cmd).await;
-            return;
+            return self.run_intra_node(cmd).await;
         }
         match d.arch {
             Arch::MessageProxy => {
@@ -518,13 +555,14 @@ impl Proc {
                 drop(guard);
             }
         }
+        Ok(())
     }
 
     /// Intra-node communication: processes on the same SMP share memory,
     /// so data moves without involving the proxy/adapter — the effect
     /// behind Figure 9's "intra-node communication reduces the load on the
     /// message proxy".
-    async fn run_intra_node(&self, cmd: Command) {
+    async fn run_intra_node(&self, cmd: Command) -> Result<(), CommError> {
         let d = *self.cs.design();
         let (submit_us, line_us) = match d.arch {
             Arch::MessageProxy => (
@@ -611,11 +649,24 @@ impl Proc {
                 self.hold_cpu(Dur::from_us(submit_us)).await;
                 let ch = queue_channel(self.cs.proc(dst), rq);
                 let ctx = self.cs.ctx.clone();
-                // Probe until data arrives (shared-memory polling).
+                let policy = self.cs.spec.deq_retry;
+                let mut attempts: u32 = 0;
+                // Probe until data arrives (shared-memory polling), giving
+                // up if the process is poisoned mid-wait or a bounded
+                // schedule runs out.
                 let data = loop {
                     match ch.try_recv() {
                         Some(d) => break d,
-                        None => ctx.delay(Dur::from_us(engine::DEQ_RETRY_US)).await,
+                        None => {
+                            if let Some(e) = self.comm_error() {
+                                return Err(e);
+                            }
+                            if policy.give_up_after(attempts + 1) {
+                                return Err(CommError::Timeout);
+                            }
+                            ctx.delay(Dur::from_us(policy.delay_us(attempts))).await;
+                            attempts += 1;
+                        }
                     }
                 };
                 let take = nbytes.min(data.len() as u32);
@@ -627,6 +678,7 @@ impl Proc {
                 }
             }
         }
+        Ok(())
     }
 }
 

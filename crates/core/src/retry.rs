@@ -1,0 +1,158 @@
+//! Shared retry/backoff policies.
+//!
+//! Two places in the stack re-probe or re-send after a delay: DEQ
+//! operations that found a remote queue empty, and the reliable link
+//! layer's retransmission timers. Both draw their schedule from one
+//! [`RetryPolicy`], configured per cluster in
+//! [`crate::ClusterSpec::deq_retry`] and [`crate::ClusterSpec::xmit_retry`].
+
+/// An exponential-backoff schedule with optional attempt bound.
+///
+/// Attempt `n` (0-based) waits `initial_us * multiplier^n`, capped at
+/// `cap_us`. With `max_attempts = Some(m)`, the operation gives up once
+/// `m` attempts have been made; `None` retries forever.
+///
+/// # Examples
+///
+/// ```
+/// use mproxy::RetryPolicy;
+///
+/// let p = RetryPolicy::backoff(50.0, 2.0, 800.0, Some(8));
+/// assert_eq!(p.delay_us(0), 50.0);
+/// assert_eq!(p.delay_us(3), 400.0);
+/// assert_eq!(p.delay_us(6), 800.0); // capped
+/// assert!(!p.give_up_after(7));
+/// assert!(p.give_up_after(8));
+///
+/// let fixed = RetryPolicy::fixed(10.0);
+/// assert_eq!(fixed.delay_us(100), 10.0);
+/// assert!(!fixed.give_up_after(1_000_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry, µs.
+    pub initial_us: f64,
+    /// Growth factor per attempt (1.0 = fixed interval).
+    pub multiplier: f64,
+    /// Upper bound on any single delay, µs.
+    pub cap_us: f64,
+    /// Total attempts allowed (`None` = unbounded).
+    pub max_attempts: Option<u32>,
+}
+
+impl RetryPolicy {
+    /// A fixed-interval, unbounded policy (every retry waits `us`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is non-positive or non-finite.
+    #[must_use]
+    pub fn fixed(us: f64) -> RetryPolicy {
+        RetryPolicy::backoff(us, 1.0, us, None)
+    }
+
+    /// An exponential policy: `initial_us`, growing by `multiplier`,
+    /// capped at `cap_us`, giving up after `max_attempts` attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive/non-finite delays, `multiplier < 1`, or
+    /// `max_attempts == Some(0)`.
+    #[must_use]
+    pub fn backoff(
+        initial_us: f64,
+        multiplier: f64,
+        cap_us: f64,
+        max_attempts: Option<u32>,
+    ) -> RetryPolicy {
+        assert!(
+            initial_us.is_finite() && initial_us > 0.0,
+            "initial delay must be finite and > 0"
+        );
+        assert!(
+            multiplier.is_finite() && multiplier >= 1.0,
+            "multiplier must be finite and >= 1"
+        );
+        assert!(
+            cap_us.is_finite() && cap_us >= initial_us,
+            "cap must be finite and >= initial"
+        );
+        assert!(max_attempts != Some(0), "max_attempts must be > 0");
+        RetryPolicy {
+            initial_us,
+            multiplier,
+            cap_us,
+            max_attempts,
+        }
+    }
+
+    /// The default DEQ re-probe schedule: the 10 µs fixed interval the
+    /// engines have always used, unbounded (DEQ blocks until data).
+    #[must_use]
+    pub fn deq_default() -> RetryPolicy {
+        RetryPolicy::fixed(10.0)
+    }
+
+    /// The default retransmission schedule of the reliable link layer:
+    /// 50 µs doubling to a 1.6 ms cap, at most 12 transmissions before the
+    /// destination is declared unreachable.
+    ///
+    /// ACKs come back only once the receiving engine dequeues the packet,
+    /// so under bursty load the first transmissions routinely "fail" and
+    /// are re-sent (harmless: duplicates are discarded). The budget's total
+    /// horizon (~12.8 ms) is therefore sized well past any worst-case
+    /// receiver service time, so only a genuinely dead or stalled node
+    /// exhausts it.
+    #[must_use]
+    pub fn xmit_default() -> RetryPolicy {
+        RetryPolicy::backoff(50.0, 2.0, 1600.0, Some(12))
+    }
+
+    /// Delay before retry number `attempt` (0-based), µs.
+    #[must_use]
+    pub fn delay_us(&self, attempt: u32) -> f64 {
+        let d = self.initial_us * self.multiplier.powi(attempt.min(1_000) as i32);
+        d.min(self.cap_us)
+    }
+
+    /// True once `attempts_made` attempts exhaust the budget.
+    #[must_use]
+    pub fn give_up_after(&self, attempts_made: u32) -> bool {
+        self.max_attempts.is_some_and(|m| attempts_made >= m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_never_escalates_or_gives_up() {
+        let p = RetryPolicy::fixed(10.0);
+        for a in [0, 1, 7, 500] {
+            assert_eq!(p.delay_us(a), 10.0);
+        }
+        assert!(!p.give_up_after(u32::MAX));
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy::backoff(50.0, 2.0, 800.0, Some(8));
+        let delays: Vec<f64> = (0..6).map(|a| p.delay_us(a)).collect();
+        assert_eq!(delays, vec![50.0, 100.0, 200.0, 400.0, 800.0, 800.0]);
+        assert!(!p.give_up_after(0));
+        assert!(p.give_up_after(9));
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow_to_infinity() {
+        let p = RetryPolicy::backoff(1.0, 2.0, 100.0, None);
+        assert_eq!(p.delay_us(u32::MAX), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_attempts")]
+    fn zero_attempt_budget_rejected() {
+        let _ = RetryPolicy::backoff(1.0, 2.0, 2.0, Some(0));
+    }
+}

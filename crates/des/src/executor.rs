@@ -168,6 +168,7 @@ impl SimCtx {
             core: Rc::clone(&self.core),
             at: None,
             dur: d,
+            scheduled: false,
         }
     }
 
@@ -179,6 +180,7 @@ impl SimCtx {
             core: Rc::clone(&self.core),
             at: Some(at),
             dur: Dur::ZERO,
+            scheduled: false,
         }
     }
 
@@ -217,6 +219,8 @@ pub struct Delay {
     /// Resolved absolute deadline; computed on first poll for `delay`.
     at: Option<SimTime>,
     dur: Dur,
+    /// Whether the calendar wake-up has been registered.
+    scheduled: bool,
 }
 
 impl std::fmt::Debug for Delay {
@@ -235,13 +239,23 @@ impl Future for Delay {
         let now = self.core.borrow().now();
         match self.at {
             Some(at) if now >= at => Poll::Ready(()),
-            Some(_) => Poll::Pending,
+            Some(at) => {
+                // An absolute deadline ([`SimCtx::delay_until`]) arrives
+                // here on its first poll: the wake-up must be scheduled
+                // just like a relative delay's, or the task sleeps forever.
+                if !self.scheduled {
+                    self.scheduled = true;
+                    self.core.borrow_mut().schedule(at, cx.waker().clone());
+                }
+                Poll::Pending
+            }
             None => {
                 let at = now + self.dur;
                 self.at = Some(at);
                 if now >= at {
                     return Poll::Ready(());
                 }
+                self.scheduled = true;
                 self.core.borrow_mut().schedule(at, cx.waker().clone());
                 Poll::Pending
             }
@@ -477,6 +491,24 @@ mod tests {
         });
         let r = sim.run();
         assert_eq!(r.end.as_us(), 5.0);
+        assert!(r.completed_cleanly());
+    }
+
+    #[test]
+    fn delay_until_schedules_its_own_wakeup() {
+        // Regression: an absolute-deadline delay must register a calendar
+        // event on first poll; it used to return Pending and sleep forever.
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            ctx.delay_until(SimTime::ZERO + Dur::from_us(40.0)).await;
+            assert_eq!(ctx.now().as_us(), 40.0);
+            // A deadline already in the past completes without moving time.
+            ctx.delay_until(SimTime::ZERO + Dur::from_us(10.0)).await;
+            assert_eq!(ctx.now().as_us(), 40.0);
+        });
+        let r = sim.run();
+        assert_eq!(r.end.as_us(), 40.0);
         assert!(r.completed_cleanly());
     }
 

@@ -9,7 +9,6 @@
 //! rule: on `P`-processor SMPs, dedicate a proxy whenever it beats
 //! system-level communication by more than `P/(P−1)`.
 
-use serde::{Deserialize, Serialize};
 
 /// Stability threshold for a communication agent's utilisation (§5.4).
 pub const STABLE_UTILIZATION: f64 = 0.5;
@@ -88,7 +87,7 @@ pub fn mm1_wait_us(service_us: f64, rho: f64) -> f64 {
 /// Dedicating one of `P` processors to a proxy costs a factor `P/(P−1)` of
 /// raw compute; it pays off whenever the proxy's communication speedup over
 /// system-level communication exceeds that factor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProxyTradeoff {
     /// Processors per SMP node.
     pub smp_procs: usize,

@@ -14,7 +14,6 @@
 
 use core::ops::{Add, AddAssign, Mul};
 
-use serde::{Deserialize, Serialize};
 
 use crate::params::MachineParams;
 
@@ -29,7 +28,7 @@ use crate::params::MachineParams;
 /// let cost = Cost::P + Cost::C_SHARED;
 /// assert_eq!(cost.eval_uniform(&MachineParams::G30), 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Cost {
     /// Cache misses between compute processor and proxy (shared memory).
     pub c_shared: f64,

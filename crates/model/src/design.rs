@@ -15,14 +15,13 @@
 //! 4 KiB page reproduce the measured peak bandwidths 22.3 and 86.7 MB/s
 //! exactly.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cost::Cost;
 use crate::latency;
 use crate::params::MachineParams;
 
 /// The three architectures for protected communication (Section 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Arch {
     /// Protection implemented in the network adapter (SHRIMP, Memory
     /// Channel): virtual-memory-mapped communication, pre-pinned buffers.
@@ -47,7 +46,7 @@ impl Arch {
 }
 
 /// A complete parameterisation of one column of Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignPoint {
     /// Name used in the paper ("HW0", ..., "SW1").
     pub name: &'static str,
@@ -322,7 +321,7 @@ impl DesignPoint {
 }
 
 /// The paper's measured Table 4 values, used as calibration targets.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table4Row {
     /// PUT latency to local-sync completion, µs.
     pub put_rt_us: f64,

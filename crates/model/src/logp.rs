@@ -8,10 +8,9 @@
 //! latency, drives application performance. This module fits LogGP
 //! parameters from the measurements the micro-benchmarks already produce.
 
-use serde::{Deserialize, Serialize};
 
 /// Fitted LogGP parameters (µs; `big_g` in µs/byte).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogGp {
     /// End-to-end small-message latency minus both overheads.
     pub l_us: f64,

@@ -17,7 +17,6 @@
 //! measured one-way latencies (PUT = 18.5 + L µs, GET = 27.5 + L µs)
 //! against the §4.1 equations — both solve to `U = 0.5 µs`.
 
-use serde::{Deserialize, Serialize};
 
 /// Primitive machine costs (Table 1), in microseconds unless noted.
 ///
@@ -30,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(g30.cache_miss_us, 1.0);
 /// assert_eq!(g30.polling_delay_us(), 3.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineParams {
     /// `C`: service time of a cache miss between two agents in the SMP.
     pub cache_miss_us: f64,

@@ -8,15 +8,19 @@
 //! proxy, never in user code; violations are counted as faults and the
 //! operation is dropped, the runtime analogue of "the system faults a
 //! process".
+//!
+//! Because the proxy is a shared, trusted agent, a node must survive its
+//! failure without hanging every client: proxy threads carry a panic
+//! sentinel, [`Endpoint::wait_flag_timeout`]/[`Endpoint::get_blocking_timeout`]
+//! bound every wait, and [`RtCluster::shutdown`] reports which proxies (if
+//! any) died instead of joining forever. All shared locks recover from
+//! poisoning, so one panicked proxy cannot wedge the survivors.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use crossbeam::queue::SegQueue;
-use parking_lot::RwLock;
+use std::time::{Duration, Instant};
 
 use crate::mem::Segment;
 use crate::spsc::{self, Entry};
@@ -40,13 +44,102 @@ pub struct FlagId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RqId(pub u32);
 
+/// A recoverable runtime communication failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtError {
+    /// A bounded wait expired before the flag reached its target.
+    Timeout {
+        /// The flag waited on.
+        flag: u32,
+        /// The value waited for.
+        target: u64,
+        /// The value observed when the wait gave up.
+        observed: u64,
+    },
+    /// A proxy thread died (panicked); the node is unreachable.
+    ProxyDown {
+        /// The node whose proxy is gone.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::Timeout {
+                flag,
+                target,
+                observed,
+            } => write!(
+                f,
+                "wait on flag {flag} timed out at {observed}/{target}"
+            ),
+            RtError::ProxyDown { node } => {
+                write!(f, "proxy thread for node {node} has died")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// What [`RtCluster::shutdown`] observed while joining the proxies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Nodes whose proxy thread terminated by panic rather than by the
+    /// stop signal.
+    pub panicked_nodes: Vec<usize>,
+}
+
+impl ShutdownReport {
+    /// True if every proxy exited cleanly.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.panicked_nodes.is_empty()
+    }
+}
+
+/// A multi-producer FIFO with poison recovery — the remote-queue store
+/// and the inter-node wire. A panicked proxy can never wedge it.
+#[derive(Debug)]
+struct PolledFifo<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for PolledFifo<T> {
+    fn default() -> Self {
+        PolledFifo {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+impl<T> PolledFifo<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.items.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn push(&self, v: T) {
+        self.lock().push_back(v);
+    }
+
+    fn pop(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
 struct ProcShared {
     asid: u32,
     node: usize,
     seg: Segment,
     flags: Vec<Arc<AtomicU64>>,
-    queues: Vec<Arc<SegQueue<Vec<u8>>>>,
+    queues: Vec<Arc<PolledFifo<Vec<u8>>>>,
     faults: Arc<AtomicU64>,
+    timeouts: Arc<AtomicU64>,
 }
 
 enum WireMsg {
@@ -99,15 +192,20 @@ struct Shared {
     perms: RwLock<HashSet<(u32, u32)>>,
     allow_all: AtomicBool,
     stop: AtomicBool,
-    wires: Vec<Sender<WireMsg>>,
+    wires: Vec<Arc<PolledFifo<WireMsg>>>,
     ops_serviced: Vec<Arc<AtomicU64>>, // per node
+    panicked: Vec<Arc<AtomicBool>>,    // per node
 }
 
 impl Shared {
     fn allowed(&self, src: u32, dst: u32) -> bool {
         src == dst
             || self.allow_all.load(Ordering::Relaxed)
-            || self.perms.read().contains(&(src, dst))
+            || self
+                .perms
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .contains(&(src, dst))
     }
 
     fn fault(&self, src: u32) {
@@ -118,6 +216,26 @@ impl Shared {
 
     fn set_flag(&self, proc: u32, flag: u32) {
         self.procs[proc as usize].flags[flag as usize].fetch_add(1, Ordering::Release);
+    }
+
+    /// First node whose proxy has died, if any.
+    fn panicked_node(&self) -> Option<usize> {
+        self.panicked
+            .iter()
+            .position(|p| p.load(Ordering::Acquire))
+    }
+}
+
+/// Sets the per-node panic bit if the proxy unwinds instead of returning.
+struct PanicSentinel {
+    flag: Arc<AtomicBool>,
+}
+
+impl Drop for PanicSentinel {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.flag.store(true, Ordering::Release);
+        }
     }
 }
 
@@ -159,13 +277,9 @@ impl RtClusterBuilder {
     /// [`Endpoint`] per declared process (in declaration order).
     #[must_use]
     pub fn start(self) -> (RtCluster, Vec<Endpoint>) {
-        let mut wires_tx = Vec::with_capacity(self.nodes);
-        let mut wires_rx = Vec::with_capacity(self.nodes);
-        for _ in 0..self.nodes {
-            let (tx, rx) = unbounded();
-            wires_tx.push(tx);
-            wires_rx.push(rx);
-        }
+        let wires: Vec<Arc<PolledFifo<WireMsg>>> = (0..self.nodes)
+            .map(|_| Arc::new(PolledFifo::default()))
+            .collect();
         let procs: Vec<Arc<ProcShared>> = self
             .procs
             .iter()
@@ -178,8 +292,11 @@ impl RtClusterBuilder {
                     flags: (0..NUM_FLAGS)
                         .map(|_| Arc::new(AtomicU64::new(0)))
                         .collect(),
-                    queues: (0..NUM_QUEUES).map(|_| Arc::new(SegQueue::new())).collect(),
+                    queues: (0..NUM_QUEUES)
+                        .map(|_| Arc::new(PolledFifo::default()))
+                        .collect(),
                     faults: Arc::new(AtomicU64::new(0)),
+                    timeouts: Arc::new(AtomicU64::new(0)),
                 })
             })
             .collect();
@@ -188,9 +305,12 @@ impl RtClusterBuilder {
             perms: RwLock::new(HashSet::new()),
             allow_all: AtomicBool::new(true),
             stop: AtomicBool::new(false),
-            wires: wires_tx,
+            wires,
             ops_serviced: (0..self.nodes)
                 .map(|_| Arc::new(AtomicU64::new(0)))
+                .collect(),
+            panicked: (0..self.nodes)
+                .map(|_| Arc::new(AtomicBool::new(false)))
                 .collect(),
         });
 
@@ -209,6 +329,7 @@ impl RtClusterBuilder {
             per_node[node].push((i as u32, rx));
             endpoints.push(Endpoint {
                 me: Arc::clone(&shared.procs[i]),
+                shared: Arc::clone(&shared),
                 cmd: tx,
                 ready: Arc::clone(&masks[node]),
                 qbit,
@@ -221,11 +342,11 @@ impl RtClusterBuilder {
             .enumerate()
             .map(|(node, queues)| {
                 let shared = Arc::clone(&shared);
-                let rx = wires_rx[node].clone();
+                let rx = Arc::clone(&shared.wires[node]);
                 let mask = Arc::clone(&masks[node]);
                 std::thread::Builder::new()
                     .name(format!("mproxy-{node}"))
-                    .spawn(move || proxy_main(node, queues, rx, mask, &shared))
+                    .spawn(move || proxy_main(node, queues, &rx, &mask, &shared))
                     .expect("spawn proxy thread")
             })
             .collect();
@@ -248,12 +369,20 @@ impl RtCluster {
 
     /// Grants `src` access to address space `dst`.
     pub fn grant(&self, src: u32, dst: u32) {
-        self.shared.perms.write().insert((src, dst));
+        self.shared
+            .perms
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((src, dst));
     }
 
     /// Revokes a grant.
     pub fn revoke(&self, src: u32, dst: u32) {
-        self.shared.perms.write().remove(&(src, dst));
+        self.shared
+            .perms
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&(src, dst));
     }
 
     /// Total commands + packets serviced by node `node`'s proxy.
@@ -262,22 +391,42 @@ impl RtCluster {
         self.shared.ops_serviced[node].load(Ordering::Relaxed)
     }
 
-    /// Stops the proxy threads and waits for them to exit.
-    pub fn shutdown(mut self) {
-        self.stop_and_join();
+    /// Nodes whose proxy thread has already died (live query; a node
+    /// appears here as soon as its proxy finishes unwinding).
+    #[must_use]
+    pub fn panicked_nodes(&self) -> Vec<usize> {
+        self.shared
+            .panicked
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.load(Ordering::Acquire))
+            .map(|(n, _)| n)
+            .collect()
     }
 
-    fn stop_and_join(&mut self) {
+    /// Stops the proxy threads, waits for them to exit, and reports any
+    /// that died by panic instead of the stop signal. Completes even with
+    /// endpoint operations still in flight: surviving proxies drain their
+    /// queues before exiting, dead ones are joined immediately.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.stop_and_join()
+    }
+
+    fn stop_and_join(&mut self) -> ShutdownReport {
         self.shared.stop.store(true, Ordering::Relaxed);
-        for j in self.joins.drain(..) {
-            let _ = j.join();
+        let mut report = ShutdownReport::default();
+        for (node, j) in self.joins.drain(..).enumerate() {
+            if j.join().is_err() {
+                report.panicked_nodes.push(node);
+            }
         }
+        report
     }
 }
 
 impl Drop for RtCluster {
     fn drop(&mut self) {
-        self.stop_and_join();
+        let _ = self.stop_and_join();
     }
 }
 
@@ -286,6 +435,7 @@ impl Drop for RtCluster {
 /// exactly one producer.
 pub struct Endpoint {
     me: Arc<ProcShared>,
+    shared: Arc<Shared>,
     cmd: spsc::Producer,
     ready: Arc<AtomicU64>,
     qbit: u32,
@@ -333,6 +483,13 @@ impl Endpoint {
         self.me.faults.load(Ordering::Relaxed)
     }
 
+    /// Bounded waits that expired (or aborted on a dead proxy) for this
+    /// process.
+    #[must_use]
+    pub fn timeouts(&self) -> u64 {
+        self.me.timeouts.load(Ordering::Relaxed)
+    }
+
     /// Current value of one of this process's flags.
     #[must_use]
     pub fn flag(&self, f: FlagId) -> u64 {
@@ -344,6 +501,48 @@ impl Endpoint {
     pub fn wait_flag(&self, f: FlagId, target: u64) {
         let mut spins = 0u32;
         while self.flag(f) < target {
+            spins += 1;
+            if spins > 500 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Bounded [`Endpoint::wait_flag`]: gives up after `timeout`, and
+    /// aborts immediately if a proxy thread has died — the wait could
+    /// otherwise never complete.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Timeout`] when the deadline passes, [`RtError::ProxyDown`]
+    /// when a proxy panicked. Both bump [`Endpoint::timeouts`].
+    pub fn wait_flag_timeout(
+        &self,
+        f: FlagId,
+        target: u64,
+        timeout: Duration,
+    ) -> Result<(), RtError> {
+        let deadline = Instant::now() + timeout;
+        let mut spins = 0u32;
+        loop {
+            let observed = self.flag(f);
+            if observed >= target {
+                return Ok(());
+            }
+            if let Some(node) = self.shared.panicked_node() {
+                self.me.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(RtError::ProxyDown { node });
+            }
+            if Instant::now() >= deadline {
+                self.me.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(RtError::Timeout {
+                    flag: f.0,
+                    target,
+                    observed,
+                });
+            }
             spins += 1;
             if spins > 500 {
                 std::thread::yield_now();
@@ -418,6 +617,26 @@ impl Endpoint {
         self.wait_flag(f, target);
     }
 
+    /// Bounded [`Endpoint::get_blocking`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Endpoint::wait_flag_timeout`]; on error the fetched data must
+    /// be treated as absent (it may still land later).
+    pub fn get_blocking_timeout(
+        &mut self,
+        laddr: u64,
+        dst: u32,
+        raddr: u64,
+        nbytes: u32,
+        timeout: Duration,
+    ) -> Result<(), RtError> {
+        let f = FlagId((NUM_FLAGS - 1) as u32);
+        let target = self.flag(f) + 1;
+        self.get(laddr, dst, raddr, nbytes, Some(f));
+        self.wait_flag_timeout(f, target, timeout)
+    }
+
     /// `ENQ`: append `nbytes` from local `laddr` to queue `rq` of `dst`.
     pub fn enq(
         &mut self,
@@ -450,10 +669,13 @@ fn unpack_sync(v: u64) -> (Option<u32>, Option<u32>) {
 fn proxy_main(
     node: usize,
     mut queues: Vec<(u32, spsc::Consumer)>,
-    wire_rx: Receiver<WireMsg>,
-    ready: Arc<AtomicU64>,
+    wire_rx: &PolledFifo<WireMsg>,
+    ready: &AtomicU64,
     shared: &Shared,
 ) {
+    let _sentinel = PanicSentinel {
+        flag: Arc::clone(&shared.panicked[node]),
+    };
     let mut ccbs: HashMap<u64, Ccb> = HashMap::new();
     let mut next_token: u64 = 0;
     let mut idle_spins = 0u32;
@@ -474,7 +696,7 @@ fn proxy_main(
             }
         }
         // Network input FIFO.
-        while let Ok(msg) = wire_rx.try_recv() {
+        while let Some(msg) = wire_rx.pop() {
             handle_packet(node, msg, shared, &mut ccbs);
             shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
             progressed = true;
@@ -540,7 +762,7 @@ fn handle_command(
                 (node, token)
             });
             let dst_node = shared.procs[dst as usize].node;
-            let _ = shared.wires[dst_node].send(WireMsg::Put {
+            shared.wires[dst_node].push(WireMsg::Put {
                 dst,
                 raddr,
                 data,
@@ -565,7 +787,7 @@ fn handle_command(
                 },
             );
             let dst_node = shared.procs[dst as usize].node;
-            let _ = shared.wires[dst_node].send(WireMsg::GetReq {
+            shared.wires[dst_node].push(WireMsg::GetReq {
                 src_asid: src,
                 dst,
                 raddr: e.args[1],
@@ -598,7 +820,7 @@ fn handle_command(
                 (node, token)
             });
             let dst_node = shared.procs[dst as usize].node;
-            let _ = shared.wires[dst_node].send(WireMsg::Enq {
+            shared.wires[dst_node].push(WireMsg::Enq {
                 dst,
                 rq,
                 data,
@@ -627,7 +849,7 @@ fn handle_packet(node: usize, msg: WireMsg, shared: &Shared, ccbs: &mut HashMap<
                 }
             }
             if let Some((origin, token)) = ack {
-                let _ = shared.wires[origin].send(WireMsg::Ack { token });
+                shared.wires[origin].push(WireMsg::Ack { token });
             }
         }
         WireMsg::GetReq {
@@ -645,7 +867,7 @@ fn handle_packet(node: usize, msg: WireMsg, shared: &Shared, ccbs: &mut HashMap<
                 shared.fault(src_asid);
                 None
             };
-            let _ = shared.wires[origin].send(WireMsg::GetReply { token, data });
+            shared.wires[origin].push(WireMsg::GetReply { token, data });
         }
         WireMsg::GetReply { token, data } => {
             if let Some(Ccb::Get {
@@ -676,7 +898,7 @@ fn handle_packet(node: usize, msg: WireMsg, shared: &Shared, ccbs: &mut HashMap<
                 shared.set_flag(dst, f);
             }
             if let Some((origin, token)) = ack {
-                let _ = shared.wires[origin].send(WireMsg::Ack { token });
+                shared.wires[origin].push(WireMsg::Ack { token });
             }
         }
         WireMsg::Ack { token } => {

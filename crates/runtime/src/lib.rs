@@ -46,7 +46,8 @@ mod mem;
 pub mod spsc;
 
 pub use cluster::{
-    Endpoint, FlagId, RqId, RtCluster, RtClusterBuilder, CMDQ_DEPTH, NUM_FLAGS, NUM_QUEUES,
+    Endpoint, FlagId, RqId, RtCluster, RtClusterBuilder, RtError, ShutdownReport, CMDQ_DEPTH,
+    NUM_FLAGS, NUM_QUEUES,
 };
 pub use mem::Segment;
 

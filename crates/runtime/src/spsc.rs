@@ -10,7 +10,26 @@
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-use crossbeam_utils::CachePadded;
+/// Pads and aligns a value to 128 bytes so adjacent queue slots never
+/// share a cache line (two lines to defeat adjacent-line prefetchers) —
+/// a local stand-in for `crossbeam_utils::CachePadded`.
+#[derive(Debug)]
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    fn new(v: T) -> CachePadded<T> {
+        CachePadded(v)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
 
 /// A fixed command record: opcode plus four operand words — the shape of
 /// a real proxy queue entry (opcode, addresses, size, sync descriptor).

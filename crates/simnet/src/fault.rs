@@ -1,0 +1,398 @@
+//! Seeded, deterministic fault injection for the simulated interconnect.
+//!
+//! A [`FaultPlan`] describes *what* can go wrong on the wire — per-packet
+//! drop, duplication, reordering (extra transit delay) and payload
+//! corruption probabilities, plus node *stall windows* during which a
+//! node's communication agent stops servicing its input — and a seed that
+//! makes every run byte-reproducible. The network consults the plan's
+//! [`FaultState`] once per transmitted packet; because the discrete-event
+//! executor is single-threaded and deterministic, the same seed always
+//! yields the same fault sequence.
+//!
+//! The layer above (the reliable-delivery protocol in `mproxy`) is
+//! responsible for masking these faults; this module only injects them
+//! and counts what it injected.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::NodeId;
+
+/// A window of simulated time during which one node's communication agent
+/// is frozen (services nothing, acknowledges nothing). Models a proxy
+/// descheduled, wedged, or crashed-and-restarted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallWindow {
+    /// The stalled node.
+    pub node: NodeId,
+    /// Window start, µs of simulated time.
+    pub start_us: f64,
+    /// Window end, µs of simulated time.
+    pub end_us: f64,
+}
+
+/// A seeded description of the faults to inject.
+///
+/// Built with the fluent methods; all probabilities are per transmitted
+/// packet and independent.
+///
+/// # Examples
+///
+/// ```
+/// use mproxy_simnet::FaultPlan;
+///
+/// let plan = FaultPlan::new(42)
+///     .drop(0.01)
+///     .duplicate(0.005)
+///     .reorder(0.01, 20.0)
+///     .corrupt(0.002)
+///     .stall(1, 100.0, 400.0);
+/// assert_eq!(plan.seed, 42);
+/// assert_eq!(plan.stalls.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// PRNG seed; equal seeds give identical fault sequences.
+    pub seed: u64,
+    /// Probability a packet is silently lost.
+    pub drop_p: f64,
+    /// Probability a packet is delivered twice.
+    pub dup_p: f64,
+    /// Probability a packet is delayed past later traffic.
+    pub reorder_p: f64,
+    /// Probability a packet's payload arrives corrupted.
+    pub corrupt_p: f64,
+    /// Extra transit delay, µs, applied to reordered packets (scaled by a
+    /// per-packet jitter draw in `[0.25, 1.25)`).
+    pub reorder_extra_us: f64,
+    /// Node stall windows.
+    pub stalls: Vec<StallWindow>,
+}
+
+fn check_p(p: f64, what: &str) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "{what} probability {p} not in [0, 1]");
+    p
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults.
+    #[must_use]
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            reorder_p: 0.0,
+            corrupt_p: 0.0,
+            reorder_extra_us: 20.0,
+            stalls: Vec::new(),
+        }
+    }
+
+    /// Sets the per-packet drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn drop(mut self, p: f64) -> FaultPlan {
+        self.drop_p = check_p(p, "drop");
+        self
+    }
+
+    /// Sets the per-packet duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn duplicate(mut self, p: f64) -> FaultPlan {
+        self.dup_p = check_p(p, "duplicate");
+        self
+    }
+
+    /// Sets the per-packet reorder probability and the extra delay (µs)
+    /// a reordered packet suffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or `extra_us` is negative or
+    /// non-finite.
+    #[must_use]
+    pub fn reorder(mut self, p: f64, extra_us: f64) -> FaultPlan {
+        self.reorder_p = check_p(p, "reorder");
+        assert!(
+            extra_us.is_finite() && extra_us >= 0.0,
+            "reorder delay must be finite and >= 0"
+        );
+        self.reorder_extra_us = extra_us;
+        self
+    }
+
+    /// Sets the per-packet payload-corruption probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn corrupt(mut self, p: f64) -> FaultPlan {
+        self.corrupt_p = check_p(p, "corrupt");
+        self
+    }
+
+    /// Adds a stall window for `node` over `[start_us, end_us)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or inverted.
+    #[must_use]
+    pub fn stall(mut self, node: NodeId, start_us: f64, end_us: f64) -> FaultPlan {
+        assert!(start_us < end_us, "empty stall window [{start_us}, {end_us})");
+        self.stalls.push(StallWindow {
+            node,
+            start_us,
+            end_us,
+        });
+        self
+    }
+
+    /// True if the plan injects no packet faults and no stalls.
+    #[must_use]
+    pub fn is_benign(&self) -> bool {
+        self.drop_p == 0.0
+            && self.dup_p == 0.0
+            && self.reorder_p == 0.0
+            && self.corrupt_p == 0.0
+            && self.stalls.is_empty()
+    }
+}
+
+/// The fate the plan assigns one transmitted packet.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Fate {
+    /// The packet is lost (nothing is delivered).
+    pub drop: bool,
+    /// A second copy is delivered after the first.
+    pub duplicate: bool,
+    /// The delivered payload is flagged corrupted.
+    pub corrupt: bool,
+    /// Extra transit delay for the primary copy, µs (reordering).
+    pub extra_us: f64,
+    /// Extra transit delay for the duplicate copy, µs.
+    pub dup_extra_us: f64,
+}
+
+/// Counters of injected faults, for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Packets judged (= packets that finished serialisation).
+    pub packets: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Packets duplicated.
+    pub duplicated: u64,
+    /// Packets delayed out of order.
+    pub reordered: u64,
+    /// Packets delivered with a corrupted payload.
+    pub corrupted: u64,
+}
+
+/// SplitMix64 — tiny seeded generator with a well-distributed stream.
+#[derive(Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Live per-run fault state: the plan, its PRNG, and injection counters.
+///
+/// One instance is shared by every adapter of a faulty [`crate::Network`];
+/// draws happen in deterministic discrete-event order, so a seed fixes
+/// the whole fault sequence.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: RefCell<SplitMix64>,
+    packets: Cell<u64>,
+    dropped: Cell<u64>,
+    duplicated: Cell<u64>,
+    reordered: Cell<u64>,
+    corrupted: Cell<u64>,
+}
+
+impl FaultState {
+    /// Creates the live state for `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Rc<FaultState> {
+        let rng = RefCell::new(SplitMix64::new(plan.seed));
+        Rc::new(FaultState {
+            plan,
+            rng,
+            packets: Cell::new(0),
+            dropped: Cell::new(0),
+            duplicated: Cell::new(0),
+            reordered: Cell::new(0),
+            corrupted: Cell::new(0),
+        })
+    }
+
+    /// The plan this state was built from.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Judges one packet. Always draws the same number of variates, so the
+    /// stream position depends only on how many packets were judged.
+    pub fn judge(&self) -> Fate {
+        let mut rng = self.rng.borrow_mut();
+        let (d, dup, re, co, jitter) = (
+            rng.unit(),
+            rng.unit(),
+            rng.unit(),
+            rng.unit(),
+            rng.unit(),
+        );
+        drop(rng);
+        let p = &self.plan;
+        let reordered = re < p.reorder_p;
+        let extra_us = if reordered {
+            p.reorder_extra_us * (0.25 + jitter)
+        } else {
+            0.0
+        };
+        let fate = Fate {
+            drop: d < p.drop_p,
+            duplicate: dup < p.dup_p,
+            corrupt: co < p.corrupt_p,
+            extra_us,
+            // The duplicate trails the primary by a fixed µs so it is a
+            // genuine duplicate-in-flight rather than a simultaneous twin.
+            dup_extra_us: extra_us + 1.0,
+        };
+        self.packets.set(self.packets.get() + 1);
+        if fate.drop {
+            self.dropped.set(self.dropped.get() + 1);
+        } else {
+            // Only delivered packets can manifest the remaining faults.
+            if fate.duplicate {
+                self.duplicated.set(self.duplicated.get() + 1);
+            }
+            if reordered {
+                self.reordered.set(self.reordered.get() + 1);
+            }
+            if fate.corrupt {
+                self.corrupted.set(self.corrupted.get() + 1);
+            }
+        }
+        fate
+    }
+
+    /// If `node` is inside a stall window at `now_us`, the window's end
+    /// (the latest end over overlapping windows); otherwise `None`.
+    #[must_use]
+    pub fn stall_end(&self, node: NodeId, now_us: f64) -> Option<f64> {
+        self.plan
+            .stalls
+            .iter()
+            .filter(|w| w.node == node && w.start_us <= now_us && now_us < w.end_us)
+            .map(|w| w.end_us)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// Snapshot of the injection counters.
+    #[must_use]
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            packets: self.packets.get(),
+            dropped: self.dropped.get(),
+            duplicated: self.duplicated.get(),
+            reordered: self.reordered.get(),
+            corrupted: self.corrupted.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fates() {
+        let mk = || FaultState::new(FaultPlan::new(7).drop(0.3).duplicate(0.2).corrupt(0.1));
+        let (a, b) = (mk(), mk());
+        for _ in 0..200 {
+            assert_eq!(a.judge(), b.judge());
+        }
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let f = FaultState::new(FaultPlan::new(1).drop(0.25));
+        for _ in 0..4000 {
+            let _ = f.judge();
+        }
+        let c = f.counts();
+        assert_eq!(c.packets, 4000);
+        let rate = c.dropped as f64 / c.packets as f64;
+        assert!((0.20..0.30).contains(&rate), "drop rate {rate}");
+        assert_eq!(c.duplicated + c.reordered + c.corrupted, 0);
+    }
+
+    #[test]
+    fn benign_plan_judges_nothing_interesting() {
+        let plan = FaultPlan::new(0);
+        assert!(plan.is_benign());
+        let f = FaultState::new(plan);
+        for _ in 0..100 {
+            assert_eq!(
+                f.judge(),
+                Fate {
+                    dup_extra_us: 1.0,
+                    ..Fate::default()
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn stall_windows_queried_by_time_and_node() {
+        let f = FaultState::new(
+            FaultPlan::new(0)
+                .stall(1, 10.0, 20.0)
+                .stall(1, 15.0, 40.0)
+                .stall(2, 0.0, 5.0),
+        );
+        assert_eq!(f.stall_end(1, 5.0), None);
+        assert_eq!(f.stall_end(1, 12.0), Some(20.0));
+        assert_eq!(f.stall_end(1, 16.0), Some(40.0)); // overlapping: latest end
+        assert_eq!(f.stall_end(1, 40.0), None); // end is exclusive
+        assert_eq!(f.stall_end(2, 3.0), Some(5.0));
+        assert_eq!(f.stall_end(0, 3.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn probability_validated() {
+        let _ = FaultPlan::new(0).drop(1.5);
+    }
+}

@@ -39,9 +39,11 @@
 #![warn(missing_docs)]
 
 mod dma;
+mod fault;
 mod network;
 
 pub use dma::{DmaEngine, DmaParams};
+pub use fault::{Fate, FaultCounts, FaultPlan, FaultState, StallWindow};
 pub use network::{Adapter, LinkParams, NetPort, Network, NodeId, Packet};
 
 /// Bytes of network header prepended to every packet (opcode, addresses,

@@ -7,9 +7,12 @@
 //! Per-link ordering is preserved: serialisation completes in FIFO order
 //! and every packet sees the same transit latency.
 
+use std::rc::Rc;
+
 use mproxy_des::{Channel, Dur, Resource, SimCtx};
 
-use crate::{wire_us, HEADER_BYTES};
+use crate::fault::FaultState;
+use crate::{wire_us, FaultPlan, HEADER_BYTES};
 
 /// Index of a node (an SMP chassis) in the cluster.
 pub type NodeId = usize;
@@ -70,6 +73,16 @@ pub struct Packet<M> {
     /// Payload size in bytes, used for serialisation timing and statistics
     /// (headers are accounted separately).
     pub payload_bytes: u32,
+    /// Link-layer sequence number stamped by [`NetPort::send_tagged`]
+    /// (0 = unsequenced; plain [`NetPort::send`] always stamps 0).
+    pub seq: u64,
+    /// Sender-computed payload checksum (0 for unsequenced traffic unless
+    /// the sender chose otherwise).
+    pub checksum: u64,
+    /// Set by fault injection when the payload was damaged in flight. The
+    /// message content itself is left intact so the simulation stays
+    /// deterministic; receivers treat this flag as a checksum mismatch.
+    pub corrupted: bool,
 }
 
 struct AdapterShared<M> {
@@ -78,6 +91,7 @@ struct AdapterShared<M> {
     rx_fifo: Channel<Packet<M>>,
     link: LinkParams,
     ctx: SimCtx,
+    faults: Option<Rc<FaultState>>,
 }
 
 /// One node's network adapter: a serialising output port plus an input
@@ -152,6 +166,7 @@ impl<M> std::fmt::Debug for Adapter<M> {
 pub struct Network<M> {
     adapters: Vec<Adapter<M>>,
     link: LinkParams,
+    faults: Option<Rc<FaultState>>,
 }
 
 impl<M: 'static> Network<M> {
@@ -163,6 +178,28 @@ impl<M: 'static> Network<M> {
     /// Panics if `nodes` is zero.
     #[must_use]
     pub fn new(ctx: &SimCtx, nodes: usize, link: LinkParams) -> Self {
+        Self::build(ctx, nodes, link, None)
+    }
+
+    /// Builds a network whose packet deliveries are subjected to `plan`'s
+    /// seeded faults. The plan's stall windows are *not* enforced here
+    /// (the network keeps delivering into input FIFOs); the protocol layer
+    /// queries [`Network::fault_state`] to freeze its agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    #[must_use]
+    pub fn with_faults(ctx: &SimCtx, nodes: usize, link: LinkParams, plan: FaultPlan) -> Self {
+        Self::build(ctx, nodes, link, Some(FaultState::new(plan)))
+    }
+
+    fn build(
+        ctx: &SimCtx,
+        nodes: usize,
+        link: LinkParams,
+        faults: Option<Rc<FaultState>>,
+    ) -> Self {
         assert!(nodes > 0, "network needs at least one node");
         let adapters = (0..nodes)
             .map(|node| Adapter {
@@ -172,10 +209,21 @@ impl<M: 'static> Network<M> {
                     rx_fifo: Channel::unbounded(),
                     link,
                     ctx: ctx.clone(),
+                    faults: faults.clone(),
                 }),
             })
             .collect();
-        Network { adapters, link }
+        Network {
+            adapters,
+            link,
+            faults,
+        }
+    }
+
+    /// The shared fault state, if this network was built with faults.
+    #[must_use]
+    pub fn fault_state(&self) -> Option<Rc<FaultState>> {
+        self.faults.clone()
     }
 
     /// Number of nodes.
@@ -236,7 +284,7 @@ impl<M> Clone for NetPort<M> {
     }
 }
 
-impl<M: 'static> NetPort<M> {
+impl<M: Clone + 'static> NetPort<M> {
     /// Sends `message` to node `dst`: serialise on the local output port,
     /// transit the switch, deliver into `dst`'s input FIFO.
     ///
@@ -246,6 +294,25 @@ impl<M: 'static> NetPort<M> {
     ///
     /// Panics if `dst` is out of range.
     pub async fn send(&self, dst: NodeId, message: M, payload_bytes: u32) {
+        self.send_tagged(dst, message, payload_bytes, 0, 0).await;
+    }
+
+    /// Like [`NetPort::send`] but stamps a link-layer sequence number and
+    /// checksum onto the packet. On a faulty network this is also where
+    /// the packet's fate (drop/duplicate/reorder/corrupt) is decided —
+    /// after serialisation, so lost packets still consumed wire time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range.
+    pub async fn send_tagged(
+        &self,
+        dst: NodeId,
+        message: M,
+        payload_bytes: u32,
+        seq: u64,
+        checksum: u64,
+    ) {
         assert!(
             dst < self.peers.len(),
             "destination node {dst} out of range"
@@ -254,17 +321,39 @@ impl<M: 'static> NetPort<M> {
         let guard = s.tx_port.acquire().await;
         guard.delay(s.link.serialize_time(payload_bytes)).await;
         drop(guard);
-        let pkt = Packet {
+        let fate = match &s.faults {
+            Some(f) => f.judge(),
+            None => crate::Fate::default(),
+        };
+        if fate.drop {
+            return;
+        }
+        let mk = |message: M, corrupted: bool| Packet {
             src: s.node,
             dst,
             message,
             payload_bytes,
+            seq,
+            checksum,
+            corrupted,
         };
         let rx = self.peers[dst].shared.rx_fifo.clone();
         let transit = s.link.transit();
+        if fate.duplicate {
+            let dup = mk(message.clone(), false);
+            let rx = rx.clone();
+            let ctx = s.ctx.clone();
+            let delay = transit + Dur::from_us(fate.dup_extra_us);
+            s.ctx.spawn(async move {
+                ctx.delay(delay).await;
+                let _ = rx.try_send(dup);
+            });
+        }
+        let pkt = mk(message, fate.corrupt);
         let ctx = s.ctx.clone();
+        let delay = transit + Dur::from_us(fate.extra_us);
         s.ctx.spawn(async move {
-            ctx.delay(transit).await;
+            ctx.delay(delay).await;
             let _ = rx.try_send(pkt);
         });
     }
@@ -449,5 +538,91 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn zero_bandwidth_rejected() {
         let _ = LinkParams::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn plain_send_stamps_unsequenced_clean_packets() {
+        let sim = Simulation::new();
+        let net = two_node_net(&sim);
+        let (a, b) = (net.adapter(0), net.adapter(1));
+        sim.spawn(async move { a.send(1, 9, 8).await });
+        let got = Rc::new(RefCell::new(None));
+        let probe = Rc::clone(&got);
+        sim.spawn(async move {
+            let pkt = b.recv().await.unwrap();
+            *probe.borrow_mut() = Some((pkt.seq, pkt.checksum, pkt.corrupted));
+        });
+        sim.run();
+        assert_eq!(*got.borrow(), Some((0, 0, false)));
+        assert!(net.fault_state().is_none());
+    }
+
+    #[test]
+    fn dropped_packets_never_arrive_and_are_counted() {
+        let sim = Simulation::new();
+        let net: Network<u32> = Network::with_faults(
+            &sim.ctx(),
+            2,
+            LinkParams::new(1.0, 100.0),
+            FaultPlan::new(3).drop(1.0),
+        );
+        let a = net.adapter(0);
+        let b = net.adapter(1);
+        sim.spawn(async move {
+            for i in 0..5u32 {
+                a.send(1, i, 8).await;
+            }
+        });
+        sim.run();
+        assert!(b.try_recv().is_none());
+        let c = net.fault_state().unwrap().counts();
+        assert_eq!((c.packets, c.dropped), (5, 5));
+    }
+
+    #[test]
+    fn duplicated_packet_arrives_twice_with_tag_intact() {
+        let sim = Simulation::new();
+        let net: Network<u32> = Network::with_faults(
+            &sim.ctx(),
+            2,
+            LinkParams::new(1.0, 100.0),
+            FaultPlan::new(3).duplicate(1.0),
+        );
+        let a = net.adapter(0);
+        let b = net.adapter(1);
+        sim.spawn(async move { a.send_tagged(1, 7, 8, 42, 0xfeed).await });
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let probe = Rc::clone(&got);
+        sim.spawn(async move {
+            for _ in 0..2 {
+                let pkt = b.recv().await.unwrap();
+                probe.borrow_mut().push((pkt.message, pkt.seq, pkt.checksum));
+            }
+        });
+        sim.run();
+        assert_eq!(*got.borrow(), vec![(7, 42, 0xfeed), (7, 42, 0xfeed)]);
+        assert_eq!(net.fault_state().unwrap().counts().duplicated, 1);
+    }
+
+    #[test]
+    fn corruption_flags_payload_without_mutating_it() {
+        let sim = Simulation::new();
+        let net: Network<u32> = Network::with_faults(
+            &sim.ctx(),
+            2,
+            LinkParams::new(1.0, 100.0),
+            FaultPlan::new(3).corrupt(1.0),
+        );
+        let a = net.adapter(0);
+        let b = net.adapter(1);
+        sim.spawn(async move { a.send(1, 5, 8).await });
+        let got = Rc::new(RefCell::new(None));
+        let probe = Rc::clone(&got);
+        sim.spawn(async move {
+            let pkt = b.recv().await.unwrap();
+            *probe.borrow_mut() = Some((pkt.message, pkt.corrupted));
+        });
+        sim.run();
+        assert_eq!(*got.borrow(), Some((5, true)));
     }
 }

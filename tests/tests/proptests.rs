@@ -1,75 +1,111 @@
 //! Property-based tests over the core data structures and the analytic
-//! model.
+//! model, driven by the seeded harness in `mproxy_tests::Rng` (each case
+//! index seeds the generator, so every failure reproduces exactly).
 
 use mproxy::{Asid, Cluster, ClusterSpec, ProcId};
 use mproxy_des::{Dur, SimTime, Simulation, Tally};
 use mproxy_model::{get_latency, DesignPoint, MachineParams, MP1};
-use proptest::prelude::*;
+use mproxy_tests::Rng;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dur_arithmetic_is_consistent(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+#[test]
+fn dur_arithmetic_is_consistent() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(case);
+        let a = rng.below(1 << 40);
+        let b = rng.below(1 << 40);
         let (da, db) = (Dur::from_ns(a), Dur::from_ns(b));
-        prop_assert_eq!(da + db, Dur::from_ns(a + b));
-        prop_assert_eq!((SimTime::ZERO + da + db) - db, SimTime::ZERO + da);
-        prop_assert_eq!(da - db, Dur::from_ns(a.saturating_sub(b)));
-    }
-
-    #[test]
-    fn tally_merge_equals_combined_stream(xs in prop::collection::vec(-1e6f64..1e6, 0..50),
-                                          ys in prop::collection::vec(-1e6f64..1e6, 0..50)) {
-        let mut all = Tally::new();
-        for &x in xs.iter().chain(&ys) { all.add(x); }
-        let mut a = Tally::new();
-        for &x in &xs { a.add(x); }
-        let mut b = Tally::new();
-        for &y in &ys { b.add(y); }
-        a.merge(&b);
-        prop_assert_eq!(a.count(), all.count());
-        prop_assert!((a.sum() - all.sum()).abs() < 1e-6);
-        prop_assert_eq!(a.min(), all.min());
-        prop_assert_eq!(a.max(), all.max());
-    }
-
-    #[test]
-    fn model_is_monotone_in_every_primitive(c in 0.1f64..2.0, s in 1.0f64..8.0, l in 0.1f64..5.0) {
-        let base = MachineParams { cache_miss_us: c, speed: s, net_latency_us: l, ..MachineParams::G30 };
-        let g = get_latency().eval_uniform(&base);
-        let worse_c = MachineParams { cache_miss_us: c * 1.5, ..base };
-        let better_s = MachineParams { speed: s * 2.0, ..base };
-        let worse_l = MachineParams { net_latency_us: l + 1.0, ..base };
-        prop_assert!(get_latency().eval_uniform(&worse_c) > g);
-        prop_assert!(get_latency().eval_uniform(&better_s) < g);
-        prop_assert!(get_latency().eval_uniform(&worse_l) > g);
+        assert_eq!(da + db, Dur::from_ns(a + b));
+        assert_eq!((SimTime::ZERO + da + db) - db, SimTime::ZERO + da);
+        assert_eq!(da - db, Dur::from_ns(a.saturating_sub(b)));
     }
 }
 
-proptest! {
-    // Simulator runs are slower; fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn tally_merge_equals_combined_stream() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x7a11_0000 + case);
+        let xs = rng.vec(0, 50, |r| r.f64_range(-1e6, 1e6));
+        let ys = rng.vec(0, 50, |r| r.f64_range(-1e6, 1e6));
+        let mut all = Tally::new();
+        for &x in xs.iter().chain(&ys) {
+            all.add(x);
+        }
+        let mut a = Tally::new();
+        for &x in &xs {
+            a.add(x);
+        }
+        let mut b = Tally::new();
+        for &y in &ys {
+            b.add(y);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.sum() - all.sum()).abs() < 1e-6);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+}
 
-    #[test]
-    fn simulator_tracks_analytic_model_on_random_machines(
-        c in prop::sample::select(vec![0.25f64, 0.5, 1.0, 1.5]),
-        s in prop::sample::select(vec![1.0f64, 2.0, 4.0]),
-    ) {
+#[test]
+fn model_is_monotone_in_every_primitive() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x0de1_0000 + case);
+        let c = rng.f64_range(0.1, 2.0);
+        let s = rng.f64_range(1.0, 8.0);
+        let l = rng.f64_range(0.1, 5.0);
+        let base = MachineParams {
+            cache_miss_us: c,
+            speed: s,
+            net_latency_us: l,
+            ..MachineParams::G30
+        };
+        let g = get_latency().eval_uniform(&base);
+        let worse_c = MachineParams {
+            cache_miss_us: c * 1.5,
+            ..base
+        };
+        let better_s = MachineParams {
+            speed: s * 2.0,
+            ..base
+        };
+        let worse_l = MachineParams {
+            net_latency_us: l + 1.0,
+            ..base
+        };
+        assert!(get_latency().eval_uniform(&worse_c) > g);
+        assert!(get_latency().eval_uniform(&better_s) < g);
+        assert!(get_latency().eval_uniform(&worse_l) > g);
+    }
+}
+
+#[test]
+fn simulator_tracks_analytic_model_on_random_machines() {
+    for case in 0..12u64 {
+        let mut rng = Rng::new(0x5100_0000 + case);
+        let c = rng.pick(&[0.25f64, 0.5, 1.0, 1.5]);
+        let s = rng.pick(&[1.0f64, 2.0, 4.0]);
         let machine = MachineParams::G30.with_cache_miss(c).with_speed(s);
-        let point = DesignPoint { name: "prop", machine, shared_miss_us: c, ..MP1 };
+        let point = DesignPoint {
+            name: "prop",
+            machine,
+            shared_miss_us: c,
+            ..MP1
+        };
         let sim = mproxy::micro::run_micro(point).get_us;
         let model = get_latency().eval_uniform(&machine);
         let err = (sim - model).abs() / model;
-        prop_assert!(err < 0.10, "sim {sim:.2} vs model {model:.2} ({err:.1}%)");
+        assert!(err < 0.10, "sim {sim:.2} vs model {model:.2} ({err:.1}%)");
     }
+}
 
-    #[test]
-    fn put_then_get_reads_own_write(
-        words in prop::collection::vec(any::<u64>(), 1..16),
-        offset_words in 0u64..8,
-    ) {
+#[test]
+fn put_then_get_reads_own_write() {
+    for case in 0..12u64 {
+        let mut rng = Rng::new(0x9e70_0000 + case);
+        let words = rng.vec(1, 16, Rng::next_u64);
+        let offset_words = rng.below(8);
         let sim = Simulation::new();
         let cluster = Cluster::new(&sim.ctx(), ClusterSpec::new(MP1, 2, 1)).unwrap();
         let ok = Rc::new(RefCell::new(false));
@@ -105,23 +141,22 @@ proptest! {
                 }
             }
         });
-        prop_assert!(cluster.run(&sim).completed_cleanly());
-        prop_assert!(*ok.borrow(), "PUT-then-GET must read back the written words");
+        assert!(cluster.run(&sim).completed_cleanly());
+        assert!(*ok.borrow(), "PUT-then-GET must read back the written words");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// CRL exclusivity makes region increments atomic: under a random
-    /// assignment of increments to ranks and regions — with no barriers,
-    /// so requests genuinely contend — every region ends at its exact
-    /// increment count on every architecture.
-    #[test]
-    fn crl_increments_are_atomic_under_contention(
-        plan in prop::collection::vec((0u32..4, 0u32..3), 1..24),
-        hw in any::<bool>(),
-    ) {
+/// CRL exclusivity makes region increments atomic: under a random
+/// assignment of increments to ranks and regions — with no barriers, so
+/// requests genuinely contend — every region ends at its exact increment
+/// count on every architecture.
+#[test]
+fn crl_increments_are_atomic_under_contention() {
+    for case in 0..8u64 {
+        let mut rng = Rng::new(0xc41_0000 + case);
+        let plan: Vec<(u32, u32)> =
+            rng.vec(1, 24, |r| (r.below(4) as u32, r.below(3) as u32));
+        let hw = rng.coin();
         use mproxy_am::{Am, Coll};
         use mproxy_crl::{Crl, RegionId};
         let design = if hw { mproxy_model::HW1 } else { MP1 };
@@ -169,24 +204,26 @@ proptest! {
                 coll.barrier().await;
             }
         });
-        prop_assert!(cluster.run(&sim).completed_cleanly());
-        prop_assert_eq!(*checked.borrow(), 12);
+        assert!(cluster.run(&sim).completed_cleanly());
+        assert_eq!(*checked.borrow(), 12);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The DES executor never moves time backwards and runs every task to
-    /// completion for arbitrary delay graphs.
-    #[test]
-    fn des_time_is_monotone_over_random_task_graphs(
-        delays in prop::collection::vec(prop::collection::vec(0u64..5_000, 1..6), 1..12),
-    ) {
+/// The DES executor never moves time backwards and runs every task to
+/// completion for arbitrary delay graphs.
+#[test]
+fn des_time_is_monotone_over_random_task_graphs() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0xde50_0000 + case);
+        let delays: Vec<Vec<u64>> = rng.vec(1, 12, |r| r.vec(1, 6, |r2| r2.below(5_000)));
         let sim = Simulation::new();
         let ctx = sim.ctx();
         let log = Rc::new(RefCell::new(Vec::new()));
-        let max_end: u64 = delays.iter().map(|d| d.iter().sum::<u64>()).max().unwrap_or(0);
+        let max_end: u64 = delays
+            .iter()
+            .map(|d| d.iter().sum::<u64>())
+            .max()
+            .unwrap_or(0);
         for chain in delays {
             let ctx = ctx.clone();
             let log = Rc::clone(&log);
@@ -198,10 +235,13 @@ proptest! {
             });
         }
         let report = sim.run();
-        prop_assert!(report.completed_cleanly());
-        prop_assert_eq!(report.end.as_ns(), max_end);
+        assert!(report.completed_cleanly());
+        assert_eq!(report.end.as_ns(), max_end);
         // Events were observed in nondecreasing time order.
         let log = log.borrow();
-        prop_assert!(log.windows(2).all(|w| w[0] <= w[1]), "time went backwards: {log:?}");
+        assert!(
+            log.windows(2).all(|w| w[0] <= w[1]),
+            "time went backwards: {log:?}"
+        );
     }
 }

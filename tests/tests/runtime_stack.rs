@@ -1,8 +1,9 @@
 //! Integration of the threaded runtime: mixed op streams, revocation at
 //! run time, and an SPSC model-based property test.
 
-use mproxy_rt::{spsc, FlagId, RqId, RtClusterBuilder};
-use proptest::prelude::*;
+use mproxy_rt::{spsc, FlagId, RqId, RtClusterBuilder, RtError};
+use mproxy_tests::Rng;
+use std::time::Duration;
 
 #[test]
 fn mixed_ops_across_three_nodes() {
@@ -62,34 +63,82 @@ fn revocation_takes_effect_mid_run() {
     cluster.shutdown();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Shutdown must complete even with a burst of operations still in
+/// flight: surviving proxies drain their queues before exiting.
+#[test]
+fn shutdown_completes_with_inflight_ops() {
+    let mut b = RtClusterBuilder::new(2);
+    let _p0 = b.add_process(0, 8192);
+    let p1 = b.add_process(1, 8192);
+    let (cluster, mut eps) = b.start();
+    let e1 = eps.pop().unwrap();
+    let mut e0 = eps.pop().unwrap();
+    // Fire-and-forget: no waits, endpoints dropped immediately after.
+    for i in 0..200u64 {
+        e0.seg().write_u64(0, i);
+        e0.put(0, p1, 8 * (i % 64), 8, None, None);
+        e0.enq(0, p1, RqId(0), 8, None, None);
+    }
+    drop((e0, e1));
+    assert!(cluster.shutdown().clean(), "proxy died draining backlog");
+}
 
-    /// The SPSC ring behaves exactly like a bounded FIFO against a model.
-    #[test]
-    fn spsc_matches_vecdeque_model(ops in prop::collection::vec(any::<bool>(), 1..200),
-                                   cap in 1usize..16) {
+/// A bounded flag wait on a flag nobody sets reports a timeout instead
+/// of spinning forever, and the endpoint counts it.
+#[test]
+fn bounded_wait_reports_timeout() {
+    let mut b = RtClusterBuilder::new(1);
+    let _p0 = b.add_process(0, 4096);
+    let (cluster, mut eps) = b.start();
+    let e0 = eps.pop().unwrap();
+    assert_eq!(e0.timeouts(), 0);
+    let err = e0
+        .wait_flag_timeout(FlagId(3), 5, Duration::from_millis(20))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        RtError::Timeout {
+            flag: 3,
+            target: 5,
+            observed: 0,
+        }
+    );
+    assert_eq!(e0.timeouts(), 1);
+    drop(e0);
+    assert!(cluster.shutdown().clean());
+}
+
+/// The SPSC ring behaves exactly like a bounded FIFO against a model.
+#[test]
+fn spsc_matches_vecdeque_model() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x5b5c_0000 + case);
+        let ops = rng.vec(1, 200, Rng::coin);
+        let cap = rng.range(1, 16) as usize;
         let (mut tx, mut rx) = spsc::channel(cap);
         let mut model = std::collections::VecDeque::new();
         let mut seq = 0u32;
         for push in ops {
             if push {
-                let e = spsc::Entry { op: seq, args: [u64::from(seq); 4] };
+                let e = spsc::Entry {
+                    op: seq,
+                    args: [u64::from(seq); 4],
+                };
                 let accepted = tx.try_send(e);
-                prop_assert_eq!(accepted, model.len() < cap);
+                assert_eq!(accepted, model.len() < cap);
                 if accepted {
                     model.push_back(seq);
                     seq += 1;
                 }
             } else {
                 let got = rx.try_recv().map(|e| e.op);
-                prop_assert_eq!(got, model.pop_front());
+                assert_eq!(got, model.pop_front());
             }
         }
         // Drain and compare the tails.
         while let Some(e) = rx.try_recv() {
-            prop_assert_eq!(Some(e.op), model.pop_front());
+            assert_eq!(Some(e.op), model.pop_front());
         }
-        prop_assert!(model.is_empty());
+        assert!(model.is_empty());
     }
 }
