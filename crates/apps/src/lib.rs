@@ -53,7 +53,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use mproxy::{Cluster, ClusterSpec, FaultPlan, FaultReport, TrafficReport};
-use mproxy_des::Simulation;
+use mproxy_des::{RunReport, Simulation};
 use mproxy_model::DesignPoint;
 
 pub use common::{AppSize, World};
@@ -146,6 +146,9 @@ pub struct AppRun {
     /// Injected faults and link-layer recovery counters (all-zero for
     /// runs without a fault plan).
     pub faults: FaultReport,
+    /// The simulator's own run report — event and task counts, used by
+    /// the performance harness to compute events/sec.
+    pub sim: RunReport,
 }
 
 /// Runs `app` on a `nodes`×`procs_per_node` cluster at `design`,
@@ -244,6 +247,7 @@ fn run_app_inner(
         checksum,
         traffic,
         faults: cluster.fault_report(),
+        sim: report,
     }
 }
 

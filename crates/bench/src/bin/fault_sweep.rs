@@ -4,88 +4,10 @@
 //! only timing degrades — so the sweep doubles as an end-to-end
 //! robustness check of the proxy fabric. Output is deterministic for a
 //! given seed.
-
-use mproxy::micro::pingpong_verified;
-use mproxy::FaultPlan;
-use mproxy_apps::{run_app_flat, run_app_flat_faulty, AppId, AppSize};
-use mproxy_model::MP1;
-
-const SEED: u64 = 1997;
-const DROP_RATES: [f64; 3] = [0.001, 0.01, 0.05];
-
-/// A sweep plan at `drop` probability: duplicates at half the drop rate,
-/// reorders at the drop rate, corrupts at a quarter of it.
-fn plan(drop: f64) -> FaultPlan {
-    FaultPlan::new(SEED)
-        .drop(drop)
-        .duplicate(drop / 2.0)
-        .reorder(drop, 30.0)
-        .corrupt(drop / 4.0)
-}
+//!
+//! Thin wrapper over [`mproxy_bench::reports::fault_sweep_report`] so
+//! tests and the performance harness reproduce the same bytes.
 
 fn main() {
-    println!("# Fault sweep on MP1 (seed {SEED})");
-    println!("# dup = drop/2, reorder = drop (30us), corrupt = drop/4\n");
-
-    println!("## Verified PUT ping-pong, 64 B x 64 reps");
-    println!(
-        "{:<10} {:>8} {:>10} {:>8} {:>9} {:>8} {:>7} {:>7}",
-        "drop_rate", "rounds", "rt_us", "ok", "injected", "dropped", "retx", "dups"
-    );
-    let base = pingpong_verified(MP1, 64, 64, None);
-    print_pp("none", &base);
-    let benign = pingpong_verified(MP1, 64, 64, Some(FaultPlan::new(SEED)));
-    print_pp("0 (rel.)", &benign);
-    for &rate in &DROP_RATES {
-        let r = pingpong_verified(MP1, 64, 64, Some(plan(rate)));
-        print_pp(&format!("{rate}"), &r);
-    }
-
-    println!("\n## Sample application (Tiny, 2 procs)");
-    println!(
-        "{:<10} {:>12} {:>14} {:>9} {:>8} {:>7} {:>7}",
-        "drop_rate", "elapsed_us", "checksum", "injected", "dropped", "retx", "unreach"
-    );
-    let base = run_app_flat(AppId::Sample, MP1, 2, AppSize::Tiny);
-    print_app("none", &base);
-    let benign = run_app_flat_faulty(AppId::Sample, MP1, 2, AppSize::Tiny, FaultPlan::new(SEED));
-    print_app("0 (rel.)", &benign);
-    assert_eq!(base.checksum, benign.checksum);
-    for &rate in &DROP_RATES {
-        let r = run_app_flat_faulty(AppId::Sample, MP1, 2, AppSize::Tiny, plan(rate));
-        assert_eq!(base.checksum, r.checksum, "faults must never change answers");
-        print_app(&format!("{rate}"), &r);
-    }
-    println!("\n# all checksums identical to the fault-free run");
-}
-
-fn print_pp(label: &str, r: &mproxy::micro::VerifiedPingPong) {
-    println!(
-        "{:<10} {:>8} {:>10.2} {:>8} {:>9} {:>8} {:>7} {:>7}",
-        label,
-        r.rounds,
-        r.rt_us,
-        if r.data_ok && r.error.is_none() {
-            "yes"
-        } else {
-            "NO"
-        },
-        r.report.injected.packets,
-        r.report.injected.dropped,
-        r.report.link.retransmits,
-        r.report.link.dups_discarded,
-    );
-}
-
-fn print_app(label: &str, r: &mproxy_apps::AppRun) {
-    println!(
-        "{:<10} {:>12.1} {:>14.6} {:>9} {:>8} {:>7} {:>7}",
-        label,
-        r.elapsed_us,
-        r.checksum,
-        r.faults.injected.packets,
-        r.faults.injected.dropped,
-        r.faults.link.retransmits,
-        r.faults.link.unreachable,
-    );
+    print!("{}", mproxy_bench::reports::fault_sweep_report());
 }

@@ -2,39 +2,10 @@
 //! size, for PUT transfers and active-message bulk stores, at all six
 //! design points. Output is a tidy table (size, point, latency, BW) —
 //! ready for a log-log plot.
-
-use mproxy::micro::pingpong_put;
-use mproxy_am::micro::pingpong_am_store;
-use mproxy_model::ALL_DESIGN_POINTS;
-
-const SIZES: [u32; 8] = [8, 32, 128, 512, 2048, 8192, 65536, 262144];
+//!
+//! Thin wrapper over [`mproxy_bench::reports::fig7_report`] so tests
+//! and the parallel sweep driver reproduce the same bytes.
 
 fn main() {
-    let reps = 4;
-    println!("# Figure 7: PUT ping-pong");
-    println!(
-        "{:<8} {:>9} {:>13} {:>15}",
-        "point", "bytes", "latency_us", "bandwidth_MB/s"
-    );
-    for d in ALL_DESIGN_POINTS {
-        for pt in pingpong_put(d, &SIZES, reps) {
-            println!(
-                "{:<8} {:>9} {:>13.2} {:>15.2}",
-                d.name, pt.bytes, pt.latency_us, pt.bandwidth_mbs
-            );
-        }
-    }
-    println!("\n# Figure 7: AM store ping-pong");
-    println!(
-        "{:<8} {:>9} {:>13} {:>15}",
-        "point", "bytes", "latency_us", "bandwidth_MB/s"
-    );
-    for d in ALL_DESIGN_POINTS {
-        for pt in pingpong_am_store(d, &SIZES, reps) {
-            println!(
-                "{:<8} {:>9} {:>13.2} {:>15.2}",
-                d.name, pt.bytes, pt.latency_us, pt.bandwidth_mbs
-            );
-        }
-    }
+    print!("{}", mproxy_bench::reports::fig7_report());
 }

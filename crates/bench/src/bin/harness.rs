@@ -1,0 +1,240 @@
+//! Performance harness: measures simulator throughput (events/sec) and
+//! wall time per figure reproduction, and emits `BENCH_des.json` so the
+//! engine's perf trajectory is tracked in-repo.
+//!
+//! ```text
+//! harness [--quick] [--label STR] [--out PATH] [--before PATH] [--check PATH]
+//! ```
+//!
+//! * `--quick`   fewer repetitions of the events/sec workload (CI smoke).
+//! * `--label`   free-form engine description recorded in the JSON.
+//! * `--out`     write the JSON document to PATH (default: stdout).
+//! * `--before`  embed the `"after"` section of a previous run's JSON as
+//!   this document's `"before"`, plus the resulting speedup.
+//! * `--check`   compare measured events/sec against the `"after"`
+//!   number recorded in PATH; exit non-zero on a >20% regression.
+//!
+//! The events/sec workload is the acceptance workload: the MP1 verified
+//! ping-pong plus the Sample application at 1% drop rate, timers and
+//! retransmissions included.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mproxy_bench::reports;
+use mproxy_bench::sweep;
+
+/// Drop rate of the acceptance workload.
+const CHECK_DROP: f64 = 0.01;
+/// Allowed events/sec regression before `--check` fails.
+const CHECK_TOLERANCE: f64 = 0.20;
+
+struct Args {
+    quick: bool,
+    label: String,
+    out: Option<String>,
+    before: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        label: "current".to_string(),
+        out: None,
+        before: None,
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--label" => args.label = value("--label")?,
+            "--out" => args.out = Some(value("--out")?),
+            "--before" => args.before = Some(value("--before")?),
+            "--check" => args.check = Some(value("--check")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Extracts the `"after"` object (balanced braces) from a harness JSON
+/// document produced by this binary.
+fn extract_after_object(doc: &str) -> Option<&str> {
+    let key = doc.find("\"after\":")?;
+    let start = key + doc[key..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in doc[start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&doc[start..=start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts the recorded events/sec of the acceptance workload from the
+/// `"after"` section of a harness JSON document.
+fn extract_after_events_per_sec(doc: &str) -> Option<f64> {
+    let after = extract_after_object(doc)?;
+    let w = after.find("\"fault_sweep_mp1_drop1pct\"")?;
+    let key = "\"events_per_sec\":";
+    let k = w + after[w..].find(key)? + key.len();
+    let rest = after[k..].trim_start();
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("harness: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reps: u32 = if args.quick { 2 } else { 8 };
+    let mode = if args.quick { "quick" } else { "full" };
+
+    // Acceptance workload: events/sec on the 1%-drop MP1 fault sweep.
+    // Best of `trials` — the minimum wall time isolates engine speed
+    // from scheduler interference on a shared host.
+    let trials: u32 = if args.quick { 3 } else { 5 };
+    eprintln!(
+        "harness: events/sec workload ({trials} trials x {reps} reps, drop {CHECK_DROP}) ..."
+    );
+    let mut events: u64 = 0;
+    let mut sweep_wall = f64::INFINITY;
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        let mut trial_events: u64 = 0;
+        for _ in 0..reps {
+            trial_events += reports::fault_sweep_unit_events(CHECK_DROP);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        if wall < sweep_wall {
+            sweep_wall = wall;
+            events = trial_events;
+        }
+    }
+    let events_per_sec = events as f64 / sweep_wall;
+    eprintln!("harness:   {events} events in {sweep_wall:.3} s = {events_per_sec:.0} events/sec");
+
+    // Figure reproductions: serial, then through the parallel driver.
+    eprintln!("harness: fig7 serial ...");
+    let t0 = Instant::now();
+    let fig7_serial = reports::fig7_report();
+    let fig7_serial_wall = t0.elapsed().as_secs_f64();
+
+    let threads = sweep::default_threads();
+    eprintln!("harness: fig7 parallel ({threads} threads) ...");
+    let t0 = Instant::now();
+    let fig7_parallel = reports::fig7_report_parallel(threads);
+    let fig7_parallel_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        fig7_serial, fig7_parallel,
+        "parallel fig7 must be byte-identical to serial"
+    );
+
+    eprintln!("harness: fault sweep report ...");
+    let t0 = Instant::now();
+    let _ = reports::fault_sweep_report();
+    let sweep_report_wall = t0.elapsed().as_secs_f64();
+
+    let mut after = String::new();
+    let _ = writeln!(after, "{{");
+    let _ = writeln!(after, "    \"label\": \"{}\",", args.label);
+    let _ = writeln!(after, "    \"mode\": \"{mode}\",");
+    let _ = writeln!(after, "    \"workloads\": {{");
+    let _ = writeln!(after, "      \"fault_sweep_mp1_drop1pct\": {{");
+    let _ = writeln!(after, "        \"runs\": {reps},");
+    let _ = writeln!(after, "        \"events\": {events},");
+    let _ = writeln!(after, "        \"wall_s\": {sweep_wall:.6},");
+    let _ = writeln!(after, "        \"events_per_sec\": {events_per_sec:.1}");
+    let _ = writeln!(after, "      }},");
+    let _ = writeln!(after, "      \"fig7_serial\": {{ \"wall_s\": {fig7_serial_wall:.6} }},");
+    let _ = writeln!(
+        after,
+        "      \"fig7_parallel\": {{ \"threads\": {threads}, \"wall_s\": {fig7_parallel_wall:.6} }},"
+    );
+    let _ = writeln!(
+        after,
+        "      \"fault_sweep_report\": {{ \"wall_s\": {sweep_report_wall:.6} }}"
+    );
+    let _ = writeln!(after, "    }}");
+    let _ = write!(after, "  }}");
+
+    let mut doc = String::from("{\n  \"schema\": 1,\n");
+    if let Some(path) = &args.before {
+        match std::fs::read_to_string(path) {
+            Ok(prev) => match (
+                extract_after_object(&prev),
+                extract_after_events_per_sec(&prev),
+            ) {
+                (Some(obj), Some(before_eps)) => {
+                    let _ = writeln!(doc, "  \"before\": {obj},");
+                    let _ = writeln!(
+                        doc,
+                        "  \"speedup_fault_sweep\": {:.2},",
+                        events_per_sec / before_eps
+                    );
+                }
+                _ => {
+                    eprintln!("harness: no usable \"after\" section in {path}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("harness: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let _ = writeln!(doc, "  \"after\": {after}");
+    doc.push_str("}\n");
+
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("harness: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("harness: wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+
+    if let Some(path) = &args.check {
+        let recorded = std::fs::read_to_string(path)
+            .ok()
+            .as_deref()
+            .and_then(extract_after_events_per_sec);
+        let Some(recorded) = recorded else {
+            eprintln!("harness: no recorded events/sec in {path}");
+            return ExitCode::FAILURE;
+        };
+        let floor = recorded * (1.0 - CHECK_TOLERANCE);
+        if events_per_sec < floor {
+            eprintln!(
+                "harness: REGRESSION: {events_per_sec:.0} events/sec < {floor:.0} \
+                 (recorded {recorded:.0} - {:.0}%)",
+                CHECK_TOLERANCE * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "harness: check ok: {events_per_sec:.0} events/sec vs recorded {recorded:.0} \
+             (floor {floor:.0})"
+        );
+    }
+    ExitCode::SUCCESS
+}

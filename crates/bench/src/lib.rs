@@ -18,6 +18,9 @@
 //! (`runtime_latency`) and the simulator's own execution speed
 //! (`sim_micro`).
 
+pub mod reports;
+pub mod sweep;
+
 /// Formats one results row: name then aligned float columns.
 #[must_use]
 pub fn row(name: &str, values: &[f64]) -> String {

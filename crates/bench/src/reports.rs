@@ -1,0 +1,330 @@
+//! Report generators for the figure/table reproductions.
+//!
+//! The `fig7_pingpong` and `fault_sweep` binaries are thin wrappers
+//! around these functions, which return the full report as a `String`
+//! so that tests can assert byte-identity against the checked-in
+//! `results/` files and the parallel sweep driver can compose reports
+//! from independently computed sections.
+
+use std::fmt::Write as _;
+
+use mproxy::micro::{pingpong_put, pingpong_verified, VerifiedPingPong};
+use mproxy::FaultPlan;
+use mproxy_am::micro::pingpong_am_store;
+use mproxy_apps::{run_app_flat, run_app_flat_faulty, AppId, AppRun, AppSize};
+use mproxy_model::{DesignPoint, ALL_DESIGN_POINTS, MP1};
+
+use crate::sweep::{run_parallel, Job};
+
+/// Message sizes swept by the Figure 7 reproduction.
+pub const FIG7_SIZES: [u32; 8] = [8, 32, 128, 512, 2048, 8192, 65536, 262144];
+
+/// Round trips averaged per Figure 7 measurement.
+pub const FIG7_REPS: u64 = 4;
+
+/// The two ping-pong protocols of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig7Protocol {
+    /// Remote PUT with a completion flag.
+    Put,
+    /// Active-message bulk store.
+    AmStore,
+}
+
+impl Fig7Protocol {
+    fn title(self) -> &'static str {
+        match self {
+            Fig7Protocol::Put => "PUT ping-pong",
+            Fig7Protocol::AmStore => "AM store ping-pong",
+        }
+    }
+}
+
+fn fig7_header(proto: Fig7Protocol) -> String {
+    format!(
+        "# Figure 7: {}\n{:<8} {:>9} {:>13} {:>15}\n",
+        proto.title(),
+        "point",
+        "bytes",
+        "latency_us",
+        "bandwidth_MB/s"
+    )
+}
+
+/// One independent slice of the Figure 7 sweep: every message size for
+/// one protocol at one design point. Sections are self-contained, so
+/// the sweep driver can compute them on separate threads and the
+/// concatenation is byte-identical to the serial report.
+#[must_use]
+pub fn fig7_section(proto: Fig7Protocol, design: DesignPoint) -> String {
+    let mut s = String::new();
+    match proto {
+        Fig7Protocol::Put => {
+            for pt in pingpong_put(design, &FIG7_SIZES, FIG7_REPS) {
+                let _ = writeln!(
+                    s,
+                    "{:<8} {:>9} {:>13.2} {:>15.2}",
+                    design.name, pt.bytes, pt.latency_us, pt.bandwidth_mbs
+                );
+            }
+        }
+        Fig7Protocol::AmStore => {
+            for pt in pingpong_am_store(design, &FIG7_SIZES, FIG7_REPS) {
+                let _ = writeln!(
+                    s,
+                    "{:<8} {:>9} {:>13.2} {:>15.2}",
+                    design.name, pt.bytes, pt.latency_us, pt.bandwidth_mbs
+                );
+            }
+        }
+    }
+    s
+}
+
+fn fig7_compose(sections: &[String]) -> String {
+    let mut s = fig7_header(Fig7Protocol::Put);
+    for sec in &sections[..ALL_DESIGN_POINTS.len()] {
+        s.push_str(sec);
+    }
+    s.push('\n');
+    s.push_str(&fig7_header(Fig7Protocol::AmStore));
+    for sec in &sections[ALL_DESIGN_POINTS.len()..] {
+        s.push_str(sec);
+    }
+    s
+}
+
+/// The full Figure 7 report (`results/fig7.txt`), computed serially.
+#[must_use]
+pub fn fig7_report() -> String {
+    let mut sections = Vec::with_capacity(2 * ALL_DESIGN_POINTS.len());
+    for proto in [Fig7Protocol::Put, Fig7Protocol::AmStore] {
+        for d in ALL_DESIGN_POINTS {
+            sections.push(fig7_section(proto, d));
+        }
+    }
+    fig7_compose(&sections)
+}
+
+/// The full Figure 7 report computed by fanning the 12 independent
+/// (protocol × design point) sections out across `threads` OS threads.
+/// Byte-identical to [`fig7_report`].
+#[must_use]
+pub fn fig7_report_parallel(threads: usize) -> String {
+    let mut jobs: Vec<Job> = Vec::with_capacity(2 * ALL_DESIGN_POINTS.len());
+    for proto in [Fig7Protocol::Put, Fig7Protocol::AmStore] {
+        for d in ALL_DESIGN_POINTS {
+            jobs.push(Box::new(move || fig7_section(proto, d)));
+        }
+    }
+    fig7_compose(&run_parallel(jobs, threads))
+}
+
+/// Seed for the fault-sweep plans (`results/fault_sweep.txt`).
+pub const SWEEP_SEED: u64 = 1997;
+
+/// Drop rates swept by the fault-sweep reproduction.
+pub const SWEEP_DROP_RATES: [f64; 3] = [0.001, 0.01, 0.05];
+
+/// A sweep plan at `drop` probability: duplicates at half the drop rate,
+/// reorders at the drop rate, corrupts at a quarter of it.
+#[must_use]
+pub fn sweep_plan(drop: f64) -> FaultPlan {
+    FaultPlan::new(SWEEP_SEED)
+        .drop(drop)
+        .duplicate(drop / 2.0)
+        .reorder(drop, 30.0)
+        .corrupt(drop / 4.0)
+}
+
+fn sweep_pp_row(s: &mut String, label: &str, r: &VerifiedPingPong) {
+    let _ = writeln!(
+        s,
+        "{:<10} {:>8} {:>10.2} {:>8} {:>9} {:>8} {:>7} {:>7}",
+        label,
+        r.rounds,
+        r.rt_us,
+        if r.data_ok && r.error.is_none() {
+            "yes"
+        } else {
+            "NO"
+        },
+        r.report.injected.packets,
+        r.report.injected.dropped,
+        r.report.link.retransmits,
+        r.report.link.dups_discarded,
+    );
+}
+
+fn sweep_app_row(s: &mut String, label: &str, r: &AppRun) {
+    let _ = writeln!(
+        s,
+        "{:<10} {:>12.1} {:>14.6} {:>9} {:>8} {:>7} {:>7}",
+        label,
+        r.elapsed_us,
+        r.checksum,
+        r.faults.injected.packets,
+        r.faults.injected.dropped,
+        r.faults.link.retransmits,
+        r.faults.link.unreachable,
+    );
+}
+
+/// The full fault-sweep report (`results/fault_sweep.txt`): the MP1
+/// verified ping-pong and the Sample application on increasingly lossy
+/// networks.
+///
+/// # Panics
+///
+/// Panics if any faulty run produces a different checksum than the
+/// fault-free one — the reliable link layer must hide faults.
+#[must_use]
+pub fn fault_sweep_report() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# Fault sweep on MP1 (seed {SWEEP_SEED})");
+    let _ = writeln!(s, "# dup = drop/2, reorder = drop (30us), corrupt = drop/4\n");
+
+    let _ = writeln!(s, "## Verified PUT ping-pong, 64 B x 64 reps");
+    let _ = writeln!(
+        s,
+        "{:<10} {:>8} {:>10} {:>8} {:>9} {:>8} {:>7} {:>7}",
+        "drop_rate", "rounds", "rt_us", "ok", "injected", "dropped", "retx", "dups"
+    );
+    let base = pingpong_verified(MP1, 64, 64, None);
+    sweep_pp_row(&mut s, "none", &base);
+    let benign = pingpong_verified(MP1, 64, 64, Some(FaultPlan::new(SWEEP_SEED)));
+    sweep_pp_row(&mut s, "0 (rel.)", &benign);
+    for &rate in &SWEEP_DROP_RATES {
+        let r = pingpong_verified(MP1, 64, 64, Some(sweep_plan(rate)));
+        sweep_pp_row(&mut s, &format!("{rate}"), &r);
+    }
+
+    let _ = writeln!(s, "\n## Sample application (Tiny, 2 procs)");
+    let _ = writeln!(
+        s,
+        "{:<10} {:>12} {:>14} {:>9} {:>8} {:>7} {:>7}",
+        "drop_rate", "elapsed_us", "checksum", "injected", "dropped", "retx", "unreach"
+    );
+    let base = run_app_flat(AppId::Sample, MP1, 2, AppSize::Tiny);
+    sweep_app_row(&mut s, "none", &base);
+    let benign = run_app_flat_faulty(
+        AppId::Sample,
+        MP1,
+        2,
+        AppSize::Tiny,
+        FaultPlan::new(SWEEP_SEED),
+    );
+    sweep_app_row(&mut s, "0 (rel.)", &benign);
+    assert_eq!(base.checksum, benign.checksum);
+    for &rate in &SWEEP_DROP_RATES {
+        let r = run_app_flat_faulty(AppId::Sample, MP1, 2, AppSize::Tiny, sweep_plan(rate));
+        assert_eq!(base.checksum, r.checksum, "faults must never change answers");
+        sweep_app_row(&mut s, &format!("{rate}"), &r);
+    }
+    let _ = writeln!(s, "\n# all checksums identical to the fault-free run");
+    s
+}
+
+/// One unit of the events/sec benchmark workload: the MP1 verified
+/// ping-pong plus the Sample application at the given drop rate (the
+/// acceptance workload uses 1%). Returns total simulator calendar
+/// events executed, so the harness can report events per wall-clock
+/// second.
+///
+/// # Panics
+///
+/// Panics if the faulty run loses data — the workload is also a
+/// correctness check.
+#[must_use]
+pub fn fault_sweep_unit_events(drop: f64) -> u64 {
+    let pp = pingpong_verified(MP1, 64, 64, Some(sweep_plan(drop)));
+    assert!(
+        pp.data_ok && pp.error.is_none(),
+        "benchmark workload lost data"
+    );
+    let app = run_app_flat_faulty(AppId::Sample, MP1, 2, AppSize::Tiny, sweep_plan(drop));
+    pp.sim.events + app.sim.events
+}
+
+#[cfg(test)]
+mod profile {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn acceptance_loop() {
+        for _ in 0..400 {
+            let _ = fault_sweep_unit_events(0.01);
+        }
+    }
+
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn primitive_throughput() {
+        use mproxy_des::{Channel, Dur, Simulation};
+        // Pure delay chain: one task, N calendar events.
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            for _ in 0..200_000u32 {
+                ctx.delay(Dur::from_us(1.0)).await;
+            }
+        });
+        let t = Instant::now();
+        let r = sim.run();
+        let w = t.elapsed().as_secs_f64();
+        eprintln!("delay-chain: {} events in {w:.4}s = {:.0} ev/s", r.events, r.events as f64 / w);
+        // Channel ping-pong: two tasks, waker round trips.
+        let sim = Simulation::new();
+        let a: Channel<u32> = Channel::unbounded();
+        let b: Channel<u32> = Channel::unbounded();
+        let (a2, b2) = (a.clone(), b.clone());
+        sim.spawn(async move {
+            for i in 0..200_000u32 {
+                a.try_send(i).unwrap();
+                let _ = b.recv().await;
+            }
+        });
+        sim.spawn(async move {
+            for _ in 0..200_000u32 {
+                let v = a2.recv().await.unwrap();
+                b2.try_send(v).unwrap();
+            }
+        });
+        let t = Instant::now();
+        let r = sim.run();
+        let w = t.elapsed().as_secs_f64();
+        eprintln!("chan-pingpong: 400k round trips in {w:.4}s = {:.0} msg/s (events={})", 400_000.0 / w, r.events);
+        // Timer arm+cancel churn.
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            for _ in 0..200_000u32 {
+                let t = ctx.timer(Dur::from_us(50.0));
+                let h = t.handle();
+                h.cancel();
+                let _ = t.await;
+            }
+        });
+        let t = Instant::now();
+        let r = sim.run();
+        let w = t.elapsed().as_secs_f64();
+        eprintln!("timer-cancel: 200k in {w:.4}s = {:.0}/s (events={})", 200_000.0 / w, r.events);
+    }
+
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn split_timings() {
+        for _ in 0..3 {
+            let t = Instant::now();
+            let pp = pingpong_verified(MP1, 64, 64, Some(sweep_plan(0.01)));
+            let tp = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let app = run_app_flat_faulty(AppId::Sample, MP1, 2, AppSize::Tiny, sweep_plan(0.01));
+            let ta = t.elapsed().as_secs_f64();
+            eprintln!("pp: {tp:.4}s {:?}", pp.sim);
+            eprintln!("app: {ta:.4}s {:?}", app.sim);
+        }
+    }
+}

@@ -129,7 +129,7 @@ pub(crate) struct NodeState {
     /// protocol logic) — numerator of Table 6's interface utilisation.
     pub(crate) engine_busy: Cell<Dur>,
     pub(crate) engine_ops: Cell<u64>,
-    pub(crate) ccbs: RefCell<std::collections::HashMap<u64, engine::Ccb>>,
+    pub(crate) ccbs: RefCell<crate::fxhash::FxHashMap<u64, engine::Ccb>>,
     pub(crate) next_token: Cell<u64>,
     /// Reliable-delivery state, present only when the cluster was built
     /// with a fault plan.
@@ -316,7 +316,7 @@ impl Cluster {
                     port,
                     engine_busy: Cell::new(Dur::ZERO),
                     engine_ops: Cell::new(0),
-                    ccbs: RefCell::new(std::collections::HashMap::new()),
+                    ccbs: RefCell::new(crate::fxhash::FxHashMap::default()),
                     next_token: Cell::new(0),
                     link,
                 })

@@ -31,10 +31,12 @@
 //! with the error message rather than deadlock.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use crate::fxhash::FxHashMap;
 use std::rc::Rc;
 
-use mproxy_des::{Dur, SimCtx, SimTime};
+use mproxy_des::{Dur, SimCtx, SimTime, TimerHandle, TimerOutcome};
 use mproxy_simnet::{NetPort, NodeId, Packet};
 
 use crate::addr::ProcId;
@@ -85,8 +87,16 @@ pub(crate) fn wire_checksum(msg: &WireMsg) -> u64 {
             self.u64(u64::from(v));
         }
         fn bytes(&mut self, data: &[u8]) {
+            // Word-at-a-time: payloads dominate the hash cost, and a
+            // structural checksum only needs to be deterministic and
+            // sensitive, not byte-serial.
             self.u64(data.len() as u64);
-            for &b in data {
+            let mut chunks = data.chunks_exact(8);
+            for c in chunks.by_ref() {
+                let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+                self.0 = (self.0 ^ w).wrapping_mul(PRIME);
+            }
+            for &b in chunks.remainder() {
                 self.byte(b);
             }
         }
@@ -229,11 +239,13 @@ pub struct LinkStats {
 struct Pending {
     msg: WireMsg,
     payload: u32,
-    /// Retransmissions performed so far (the original send is not counted).
-    attempts: u32,
     /// Process to fail if the budget runs out (None for replies whose
     /// originating process the responder does not know).
     owner: Option<ProcId>,
+    /// Handle onto the current retransmission timer, so an ACK disarms it
+    /// immediately instead of leaving a dead calendar event to churn
+    /// through. Set by the retransmit loop once it arms its first timer.
+    timer: Option<TimerHandle>,
 }
 
 /// Per-node reliable-delivery state. Self-contained (owns clones of the
@@ -245,12 +257,12 @@ pub(crate) struct LinkLayer {
     port: NetPort<WireMsg>,
     policy: RetryPolicy,
     procs: Vec<Rc<ProcState>>,
-    next_seq: RefCell<HashMap<NodeId, u64>>,
-    pending: RefCell<HashMap<(NodeId, u64), Pending>>,
+    next_seq: RefCell<FxHashMap<NodeId, u64>>,
+    pending: RefCell<FxHashMap<(NodeId, u64), Pending>>,
     /// Next expected sequence per source node (first is 1).
-    expected: RefCell<HashMap<NodeId, u64>>,
+    expected: RefCell<FxHashMap<NodeId, u64>>,
     /// Out-of-order arrivals per source, keyed by sequence.
-    held: RefCell<HashMap<NodeId, BTreeMap<u64, WireMsg>>>,
+    held: RefCell<FxHashMap<NodeId, BTreeMap<u64, WireMsg>>>,
     stats: RefCell<LinkStats>,
     /// Set by [`LinkLayer::quiesce`] at cluster shutdown: later sends go
     /// out untracked (fire-and-forget) instead of arming retransmission
@@ -272,10 +284,10 @@ impl LinkLayer {
             port,
             policy,
             procs,
-            next_seq: RefCell::new(HashMap::new()),
-            pending: RefCell::new(HashMap::new()),
-            expected: RefCell::new(HashMap::new()),
-            held: RefCell::new(HashMap::new()),
+            next_seq: RefCell::new(FxHashMap::default()),
+            pending: RefCell::new(FxHashMap::default()),
+            expected: RefCell::new(FxHashMap::default()),
+            held: RefCell::new(FxHashMap::default()),
             stats: RefCell::new(LinkStats::default()),
             closed: Cell::new(false),
         })
@@ -316,60 +328,81 @@ impl LinkLayer {
             Pending {
                 msg: msg.clone(),
                 payload,
-                attempts: 0,
                 owner,
+                timer: None,
             },
         );
         self.port
             .send_tagged(dst, msg, payload, seq, checksum)
             .await;
-        self.arm_timer(dst, seq, 0);
+        self.arm_retransmit_loop(dst, seq);
     }
 
-    /// Spawns the retransmission timer for `(dst, seq)` at retry `attempt`.
-    fn arm_timer(self: &Rc<Self>, dst: NodeId, seq: u64, attempt: u32) {
+    /// Spawns the retransmission loop for `(dst, seq)`: one task for the
+    /// whole lifetime of the pending entry, sleeping on a cancellable
+    /// [`mproxy_des::Timer`] per attempt. An arriving ACK disarms the
+    /// current timer through the handle stashed in the pending table, so
+    /// the loop ends at the instant of acknowledgment and the calendar
+    /// never fires a dead retransmission event — the common case on a
+    /// mostly-healthy network.
+    fn arm_retransmit_loop(self: &Rc<Self>, dst: NodeId, seq: u64) {
         let link = Rc::clone(self);
         self.ctx.clone().spawn(async move {
-            link.ctx
-                .delay(Dur::from_us(link.policy.delay_us(attempt)))
-                .await;
-            // Still pending at the same retry generation? (An ACK removes
-            // the entry; a NACK resend leaves the generation unchanged, so
-            // this timer stays the single backstop.)
-            let entry = link
-                .pending
-                .borrow()
-                .get(&(dst, seq))
-                .filter(|p| p.attempts == attempt)
-                .map(|p| (p.msg.clone(), p.payload));
-            let Some((msg, payload)) = entry else { return };
-            let sent_so_far = attempt + 1;
-            if link.policy.give_up_after(sent_so_far) {
-                let owner = link
-                    .pending
-                    .borrow_mut()
-                    .remove(&(dst, seq))
-                    .and_then(|p| p.owner);
-                link.stats.borrow_mut().unreachable += 1;
-                if let Some(p) = owner {
-                    poison_proc(
-                        &link.procs[p.0 as usize],
-                        CommError::Unreachable {
-                            dst,
-                            attempts: sent_so_far,
-                        },
-                    );
+            let mut attempt: u32 = 0;
+            loop {
+                let timer = link
+                    .ctx
+                    .timer(Dur::from_us(link.policy.delay_us(attempt)));
+                {
+                    let mut pending = link.pending.borrow_mut();
+                    let Some(p) = pending.get_mut(&(dst, seq)) else {
+                        // Acknowledged before the timer was even armed.
+                        break;
+                    };
+                    p.timer = Some(timer.handle());
                 }
-                return;
+                if timer.await == TimerOutcome::Cancelled {
+                    // Acknowledged (or quiesced); the entry is gone.
+                    break;
+                }
+                // Fired. The entry can still be gone: an ACK processed at
+                // the very instant of the deadline finds the timer already
+                // in its fired state, and cancelling is then a no-op.
+                let entry = link
+                    .pending
+                    .borrow()
+                    .get(&(dst, seq))
+                    .map(|p| (p.msg.clone(), p.payload));
+                let Some((msg, payload)) = entry else { break };
+                let sent_so_far = attempt + 1;
+                if link.policy.give_up_after(sent_so_far) {
+                    let owner = link
+                        .pending
+                        .borrow_mut()
+                        .remove(&(dst, seq))
+                        .and_then(|p| p.owner);
+                    link.stats.borrow_mut().unreachable += 1;
+                    if let Some(p) = owner {
+                        poison_proc(
+                            &link.procs[p.0 as usize],
+                            CommError::Unreachable {
+                                dst,
+                                attempts: sent_so_far,
+                            },
+                        );
+                    }
+                    break;
+                }
+                link.stats.borrow_mut().retransmits += 1;
+                let checksum = wire_checksum(&msg);
+                link.port.send_tagged(dst, msg, payload, seq, checksum).await;
+                attempt += 1;
+                // Give the engine one scheduling round before re-arming,
+                // mirroring the queue round-trip of the former
+                // spawn-a-task-per-attempt design so event ordering (and
+                // every results reproduction) stays byte-identical.
+                link.ctx.yield_now().await;
             }
-            let next = attempt + 1;
-            if let Some(p) = link.pending.borrow_mut().get_mut(&(dst, seq)) {
-                p.attempts = next;
-            }
-            link.stats.borrow_mut().retransmits += 1;
-            let checksum = wire_checksum(&msg);
-            link.port.send_tagged(dst, msg, payload, seq, checksum).await;
-            link.arm_timer(dst, seq, next);
         });
     }
 
@@ -377,12 +410,17 @@ impl LinkLayer {
     /// once every process body has finished, all message-level results
     /// have provably arrived, so any still-pending entry is only a
     /// link-level ACK the peer never echoed (the peer may already be
-    /// gone). Clearing the map lets outstanding timers expire silently
-    /// instead of retransmitting into closed engines until they declare
-    /// the node unreachable.
+    /// gone). Draining the map and cancelling every retransmission timer
+    /// ends the retry loops at this very instant instead of letting them
+    /// retransmit into closed engines until they declare the node
+    /// unreachable.
     pub(crate) fn quiesce(&self) {
         self.closed.set(true);
-        self.pending.borrow_mut().clear();
+        for (_, p) in self.pending.borrow_mut().drain() {
+            if let Some(t) = p.timer {
+                t.cancel();
+            }
+        }
         self.held.borrow_mut().clear();
     }
 
@@ -411,7 +449,13 @@ impl LinkLayer {
             WireMsg::LinkAck { seq: acked } => {
                 // Corrupted control is dropped; recovery is timer-driven.
                 if valid {
-                    self.pending.borrow_mut().remove(&(src, acked));
+                    let entry = self.pending.borrow_mut().remove(&(src, acked));
+                    if let Some(t) = entry.and_then(|p| p.timer) {
+                        // Disarm the retransmission timer right now: its
+                        // calendar entry is discarded lazily and never
+                        // fires as an event.
+                        t.cancel();
+                    }
                 }
                 Vec::new()
             }

@@ -53,6 +53,7 @@ mod addr;
 mod cluster;
 mod engine;
 mod error;
+mod fxhash;
 mod flags;
 mod mem;
 pub mod micro;

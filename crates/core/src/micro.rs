@@ -11,7 +11,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use mproxy_des::Simulation;
+use mproxy_des::{RunReport, Simulation};
 use mproxy_model::DesignPoint;
 use mproxy_simnet::FaultPlan;
 
@@ -256,6 +256,9 @@ pub struct VerifiedPingPong {
     pub error: Option<CommError>,
     /// Injected faults and link-layer recovery counters.
     pub report: FaultReport,
+    /// The simulator's own run report — event and task counts, used by
+    /// the performance harness to compute events/sec.
+    pub sim: RunReport,
 }
 
 /// The Figure 7 PUT ping-pong with end-to-end payload verification,
@@ -346,6 +349,7 @@ pub fn pingpong_verified(
         data_ok,
         error,
         report: cluster.fault_report(),
+        sim: run,
     }
 }
 

@@ -7,29 +7,185 @@
 //! [`crate::sync`] / [`crate::resource`] blocks it until another process
 //! acts. The executor is strictly deterministic: events fire in
 //! `(time, creation sequence)` order and ready tasks are polled FIFO.
+//!
+//! # Hot-path design
+//!
+//! The engine is single-threaded, so nothing on the critical path takes a
+//! lock. Tasks live in a *slab* — a `Vec` of slots indexed by the low bits
+//! of [`TaskId`], with a generation counter in the high bits so a stale
+//! wake for a completed (and recycled) slot is rejected instead of polling
+//! an unrelated task. Each task gets exactly one [`Waker`], created at
+//! spawn and reused for every poll. The ready queue is a plain
+//! `Rc<RefCell<VecDeque<TaskId>>>`; because the `Wake` trait demands
+//! `Send + Sync`, wakers reach it through a thread-local registry of weak
+//! queue references keyed by a globally unique epoch (see
+//! [`TaskWaker`]) rather than owning an `Arc<Mutex<…>>`.
+//!
+//! The calendar is cancellation-aware: a [`Timer`] can be disarmed through
+//! its [`TimerHandle`] (the reliable link layer does this for every
+//! acknowledged retransmit timer), and cancelled entries are discarded
+//! lazily when they surface at the top of the heap — without advancing
+//! simulated time or counting as events, so reproductions stay
+//! byte-identical whether or not timers were cancelled.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
-use std::sync::{Arc, Mutex};
+use std::rc::{Rc, Weak};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
 use crate::time::{Dur, SimTime};
 
-/// Identifier of a spawned simulation task.
+/// Identifier of a spawned simulation task: slab index in the low 32 bits,
+/// slot generation in the high 32.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(u64);
 
+impl TaskId {
+    fn from_parts(index: usize, generation: u32) -> Self {
+        TaskId((u64::from(generation) << 32) | index as u64)
+    }
+
+    fn index(self) -> usize {
+        (self.0 & u64::from(u32::MAX)) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 
-/// An entry in the event calendar: wake `waker` at instant `at`.
+/// FIFO of tasks that are ready to be polled. Single-threaded: wakers reach
+/// it through the thread-local registry below, never across threads.
+type ReadyQueue = Rc<RefCell<VecDeque<TaskId>>>;
+
+/// A registry entry: the epoch the slot was (re)assigned under, plus a weak
+/// handle to the simulation's ready queue.
+type RegistryEntry = (u64, Weak<RefCell<VecDeque<TaskId>>>);
+
+/// Monotonic source of registry epochs. Process-wide so an epoch value is
+/// never reused — a waker that outlives its simulation (or crosses threads,
+/// where a different registry lives) can only ever no-op.
+static NEXT_REGISTRY_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread table of live ready queues: `(epoch, queue)`. Slots of
+    /// dropped simulations are recycled for new ones under a fresh epoch.
+    static READY_REGISTRY: RefCell<Vec<RegistryEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Registers `ready` in this thread's registry, returning its slot and epoch.
+fn register_ready_queue(ready: &ReadyQueue) -> (usize, u64) {
+    let epoch = NEXT_REGISTRY_EPOCH.fetch_add(1, Ordering::Relaxed);
+    READY_REGISTRY.with(|reg| {
+        let mut reg = reg.borrow_mut();
+        let weak = Rc::downgrade(ready);
+        for (slot, entry) in reg.iter_mut().enumerate() {
+            if entry.1.strong_count() == 0 {
+                *entry = (epoch, weak);
+                return (slot, epoch);
+            }
+        }
+        reg.push((epoch, weak));
+        (reg.len() - 1, epoch)
+    })
+}
+
+/// The one waker a task ever gets, created at spawn and reused for every
+/// poll. It carries no owning pointer — only the registry coordinates of
+/// its simulation's ready queue — so it satisfies the `Send + Sync`
+/// contract of [`Wake`] while the queue itself stays single-threaded. A
+/// wake after the simulation is gone (epoch mismatch or dead weak) is a
+/// silent no-op, and a wake for a completed task is rejected by the slab's
+/// generation check when it is popped.
+struct TaskWaker {
+    slot: usize,
+    epoch: u64,
+    id: TaskId,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        READY_REGISTRY.with(|reg| {
+            let reg = reg.borrow();
+            if let Some((epoch, queue)) = reg.get(self.slot) {
+                if *epoch == self.epoch {
+                    if let Some(queue) = queue.upgrade() {
+                        queue.borrow_mut().push_back(self.id);
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Lifecycle of a [`Timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimerState {
+    /// Created, not yet polled: no calendar entry exists.
+    Idle,
+    /// In the calendar, waiting to fire.
+    Scheduled,
+    /// Reached its deadline and woke its task.
+    Fired,
+    /// Disarmed via [`TimerHandle::cancel`]; its calendar entry (if any)
+    /// will be discarded lazily.
+    Cancelled,
+}
+
+/// Shared state between a [`Timer`] future, its [`TimerHandle`], and the
+/// calendar entry.
+struct TimerCell {
+    state: Cell<TimerState>,
+    waker: RefCell<Option<Waker>>,
+}
+
+/// How a [`Timer`] completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerOutcome {
+    /// The deadline was reached.
+    Fired,
+    /// [`TimerHandle::cancel`] disarmed the timer first.
+    Cancelled,
+}
+
+/// An entry in the event calendar, ordered by `(at, seq)`.
 struct TimedWake {
     at: SimTime,
     seq: u64,
-    waker: Waker,
+    kind: WakeKind,
+}
+
+enum WakeKind {
+    /// Wake a task directly (plain [`Delay`]).
+    Task(Waker),
+    /// Fire a cancellable [`Timer`].
+    Timer(Rc<TimerCell>),
+    /// Run a one-shot callback ([`SimCtx::call_after`]).
+    Call(Box<dyn FnOnce()>),
+    /// Poll a task directly — the fast path for a [`Delay`] awaited by
+    /// the task itself (no waker round trip; stale ids are rejected by
+    /// the slab generation check).
+    Poll(TaskId),
+}
+
+impl TimedWake {
+    fn is_cancelled(&self) -> bool {
+        match &self.kind {
+            WakeKind::Task(_) | WakeKind::Call(_) | WakeKind::Poll(_) => false,
+            WakeKind::Timer(cell) => cell.state.get() == TimerState::Cancelled,
+        }
+    }
 }
 
 impl PartialEq for TimedWake {
@@ -49,25 +205,15 @@ impl Ord for TimedWake {
     }
 }
 
-/// FIFO of tasks that are ready to be polled. Shared with wakers, which must
-/// be `Send + Sync` by contract even though the simulation is single-threaded.
-type ReadyQueue = Arc<Mutex<VecDeque<TaskId>>>;
-
-struct TaskWaker {
-    id: TaskId,
-    ready: ReadyQueue,
-}
-
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
-        self.wake_by_ref();
-    }
-    fn wake_by_ref(self: &Arc<Self>) {
-        self.ready
-            .lock()
-            .expect("ready queue poisoned")
-            .push_back(self.id);
-    }
+/// One slab slot. `generation` is bumped when the occupying task completes,
+/// invalidating any [`TaskId`] (and queued wakes) that still point here.
+#[derive(Default)]
+struct TaskSlot {
+    generation: u32,
+    fut: Option<BoxFuture>,
+    /// The task's one reusable waker; behind `Rc` so each poll borrows it
+    /// without touching the `Waker`'s atomic reference count.
+    waker: Option<Rc<Waker>>,
 }
 
 pub(crate) struct Core {
@@ -75,27 +221,41 @@ pub(crate) struct Core {
     next_seq: u64,
     calendar: BinaryHeap<Reverse<TimedWake>>,
     ready: ReadyQueue,
-    tasks: HashMap<TaskId, Option<BoxFuture>>,
-    wakers: HashMap<TaskId, Waker>,
-    next_task: u64,
+    registry_slot: usize,
+    registry_epoch: u64,
+    slab: Vec<TaskSlot>,
+    free: Vec<usize>,
+    /// Task currently inside [`Simulation::poll_task`], if any — lets
+    /// `Delay` schedule a direct poll instead of a waker round trip.
+    current: Option<TaskId>,
     spawned: u64,
     completed: u64,
     events: u64,
+    timers_armed: u64,
+    timers_cancelled: u64,
+    timers_fired: u64,
 }
 
 impl Core {
     fn new() -> Self {
+        let ready: ReadyQueue = Rc::new(RefCell::new(VecDeque::new()));
+        let (registry_slot, registry_epoch) = register_ready_queue(&ready);
         Core {
             now: SimTime::ZERO,
             next_seq: 0,
             calendar: BinaryHeap::new(),
-            ready: Arc::new(Mutex::new(VecDeque::new())),
-            tasks: HashMap::new(),
-            wakers: HashMap::new(),
-            next_task: 0,
+            ready,
+            registry_slot,
+            registry_epoch,
+            slab: Vec::new(),
+            free: Vec::new(),
             spawned: 0,
             completed: 0,
+            current: None,
             events: 0,
+            timers_armed: 0,
+            timers_cancelled: 0,
+            timers_fired: 0,
         }
     }
 
@@ -104,27 +264,62 @@ impl Core {
     }
 
     /// Registers a wakeup at `at` (clamped to be no earlier than now).
-    pub(crate) fn schedule(&mut self, at: SimTime, waker: Waker) {
+    ///
+    /// When `waker` is the cached waker of the task currently being
+    /// polled — every ordinary `delay(..).await` — the calendar entry
+    /// records the task id itself and the fire skips the waker, ready
+    /// queue, and registry machinery entirely.
+    pub(crate) fn schedule(&mut self, at: SimTime, waker: &Waker) {
+        match self.awaiting_task(waker) {
+            Some(id) => self.push_calendar(at, WakeKind::Poll(id)),
+            None => self.push_calendar(at, WakeKind::Task(waker.clone())),
+        }
+    }
+
+    /// The id of the task being polled, if `w` is that task's own waker.
+    fn awaiting_task(&self, w: &Waker) -> Option<TaskId> {
+        let id = self.current?;
+        let slot = self.slab.get(id.index())?;
+        if slot.generation != id.generation() {
+            return None;
+        }
+        match &slot.waker {
+            Some(tw) if w.will_wake(tw) => Some(id),
+            _ => None,
+        }
+    }
+
+    fn schedule_timer(&mut self, at: SimTime, cell: Rc<TimerCell>) {
+        self.push_calendar(at, WakeKind::Timer(cell));
+    }
+
+    fn schedule_call(&mut self, at: SimTime, f: Box<dyn FnOnce()>) {
+        self.push_calendar(at, WakeKind::Call(f));
+    }
+
+    fn push_calendar(&mut self, at: SimTime, kind: WakeKind) {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.calendar.push(Reverse(TimedWake { at, seq, waker }));
+        self.calendar.push(Reverse(TimedWake { at, seq, kind }));
     }
 
     fn spawn(&mut self, fut: BoxFuture) -> TaskId {
-        let id = TaskId(self.next_task);
-        self.next_task += 1;
         self.spawned += 1;
-        self.tasks.insert(id, Some(fut));
-        let waker = Waker::from(Arc::new(TaskWaker {
+        let index = self.free.pop().unwrap_or_else(|| {
+            self.slab.push(TaskSlot::default());
+            self.slab.len() - 1
+        });
+        let id = TaskId::from_parts(index, self.slab[index].generation);
+        let waker = Rc::new(Waker::from(Arc::new(TaskWaker {
+            slot: self.registry_slot,
+            epoch: self.registry_epoch,
             id,
-            ready: Arc::clone(&self.ready),
-        }));
-        self.wakers.insert(id, waker);
-        self.ready
-            .lock()
-            .expect("ready queue poisoned")
-            .push_back(id);
+        })));
+        let slot = &mut self.slab[index];
+        slot.fut = Some(fut);
+        slot.waker = Some(waker);
+        self.ready.borrow_mut().push_back(id);
         id
     }
 }
@@ -184,9 +379,42 @@ impl SimCtx {
         }
     }
 
+    /// Returns a cancellable timer that fires `d` later in simulated time.
+    ///
+    /// Unlike [`SimCtx::delay`], the timer exposes a [`TimerHandle`]
+    /// (via [`Timer::handle`]) that any other process can use to disarm
+    /// it — the waiting process then completes immediately with
+    /// [`TimerOutcome::Cancelled`] instead of sleeping out the full
+    /// interval. The reliable link layer uses this to retire retransmit
+    /// timers the moment an acknowledgment arrives.
+    #[must_use]
+    pub fn timer(&self, d: Dur) -> Timer {
+        Timer {
+            core: Rc::clone(&self.core),
+            cell: Rc::new(TimerCell {
+                state: Cell::new(TimerState::Idle),
+                waker: RefCell::new(None),
+            }),
+            dur: d,
+        }
+    }
+
     /// Spawns a new simulation process.
     pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) -> TaskId {
         self.core.borrow_mut().spawn(Box::pin(fut))
+    }
+
+    /// Runs `f` once, `d` later in simulated time.
+    ///
+    /// A scheduled callback is a single calendar entry — no task slot, no
+    /// boxed future, no waker round trip — so it is the cheap way to model
+    /// fire-and-forget hardware actions ("this packet lands on the remote
+    /// FIFO in 0.8 µs"). The callback runs while the calendar is drained,
+    /// before any process woken at the same instant is polled.
+    pub fn call_after(&self, d: Dur, f: impl FnOnce() + 'static) {
+        let mut core = self.core.borrow_mut();
+        let at = core.now + d;
+        core.schedule_call(at, Box::new(f));
     }
 
     /// Yields to any other ready process at the same instant.
@@ -235,31 +463,140 @@ impl std::fmt::Debug for Delay {
 impl Future for Delay {
     type Output = ();
 
-    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        let now = self.core.borrow().now();
-        match self.at {
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = Pin::into_inner(self);
+        let mut core = this.core.borrow_mut();
+        let now = core.now;
+        match this.at {
             Some(at) if now >= at => Poll::Ready(()),
             Some(at) => {
                 // An absolute deadline ([`SimCtx::delay_until`]) arrives
                 // here on its first poll: the wake-up must be scheduled
                 // just like a relative delay's, or the task sleeps forever.
-                if !self.scheduled {
-                    self.scheduled = true;
-                    self.core.borrow_mut().schedule(at, cx.waker().clone());
+                if !this.scheduled {
+                    this.scheduled = true;
+                    core.schedule(at, cx.waker());
                 }
                 Poll::Pending
             }
             None => {
-                let at = now + self.dur;
-                self.at = Some(at);
+                let at = now + this.dur;
+                this.at = Some(at);
                 if now >= at {
                     return Poll::Ready(());
                 }
-                self.scheduled = true;
-                self.core.borrow_mut().schedule(at, cx.waker().clone());
+                this.scheduled = true;
+                core.schedule(at, cx.waker());
                 Poll::Pending
             }
         }
+    }
+}
+
+/// A cancellable timer future, created by [`SimCtx::timer`].
+///
+/// Resolves to [`TimerOutcome::Fired`] when the deadline passes, or to
+/// [`TimerOutcome::Cancelled`] — immediately — if the timer is disarmed
+/// through its [`TimerHandle`] first. The calendar entry of a cancelled
+/// timer is discarded lazily and never advances simulated time, so
+/// cancelling timers cannot perturb the event order of anything else.
+pub struct Timer {
+    core: Rc<RefCell<Core>>,
+    cell: Rc<TimerCell>,
+    dur: Dur,
+}
+
+impl Timer {
+    /// Returns a handle that can disarm this timer from another process.
+    #[must_use]
+    pub fn handle(&self) -> TimerHandle {
+        TimerHandle {
+            core: Rc::clone(&self.core),
+            cell: Rc::clone(&self.cell),
+        }
+    }
+}
+
+impl std::fmt::Debug for Timer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Timer")
+            .field("dur", &self.dur)
+            .field("state", &self.cell.state.get())
+            .finish()
+    }
+}
+
+impl Future for Timer {
+    type Output = TimerOutcome;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<TimerOutcome> {
+        match self.cell.state.get() {
+            TimerState::Fired => Poll::Ready(TimerOutcome::Fired),
+            TimerState::Cancelled => Poll::Ready(TimerOutcome::Cancelled),
+            TimerState::Idle => {
+                let mut core = self.core.borrow_mut();
+                core.timers_armed += 1;
+                let at = core.now + self.dur;
+                if core.now >= at {
+                    core.timers_fired += 1;
+                    self.cell.state.set(TimerState::Fired);
+                    return Poll::Ready(TimerOutcome::Fired);
+                }
+                self.cell.state.set(TimerState::Scheduled);
+                *self.cell.waker.borrow_mut() = Some(cx.waker().clone());
+                core.schedule_timer(at, Rc::clone(&self.cell));
+                Poll::Pending
+            }
+            TimerState::Scheduled => {
+                *self.cell.waker.borrow_mut() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Disarms a [`Timer`] from outside the process awaiting it.
+///
+/// Cancelling is idempotent: once the timer has fired or been cancelled,
+/// further [`cancel`](TimerHandle::cancel) calls are no-ops.
+#[derive(Clone)]
+pub struct TimerHandle {
+    core: Rc<RefCell<Core>>,
+    cell: Rc<TimerCell>,
+}
+
+impl TimerHandle {
+    /// Disarms the timer. The process awaiting it is woken at the current
+    /// instant and observes [`TimerOutcome::Cancelled`]; the calendar entry
+    /// is discarded lazily without firing.
+    pub fn cancel(&self) {
+        match self.cell.state.get() {
+            TimerState::Fired | TimerState::Cancelled => {}
+            TimerState::Idle | TimerState::Scheduled => {
+                self.cell.state.set(TimerState::Cancelled);
+                self.core.borrow_mut().timers_cancelled += 1;
+                if let Some(w) = self.cell.waker.borrow_mut().take() {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    /// True if the timer has neither fired nor been cancelled yet.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        matches!(
+            self.cell.state.get(),
+            TimerState::Idle | TimerState::Scheduled
+        )
+    }
+}
+
+impl std::fmt::Debug for TimerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerHandle")
+            .field("state", &self.cell.state.get())
+            .finish()
     }
 }
 
@@ -295,8 +632,15 @@ pub struct RunReport {
     /// Processes still pending when the run stopped (blocked forever unless
     /// the run hit a time limit).
     pub pending: u64,
-    /// Calendar events processed.
+    /// Calendar events processed. Cancelled timers do not count: their
+    /// entries are discarded without firing.
     pub events: u64,
+    /// Cancellable timers armed (scheduled into the calendar).
+    pub timers_armed: u64,
+    /// Timers disarmed via [`TimerHandle::cancel`] before firing.
+    pub timers_cancelled: u64,
+    /// Timers that reached their deadline and fired.
+    pub timers_fired: u64,
 }
 
 impl RunReport {
@@ -383,34 +727,52 @@ impl Simulation {
     }
 
     fn run_inner(&self, limit: Option<SimTime>) -> RunReport {
+        let ready = Rc::clone(&self.core.borrow().ready);
         loop {
-            // Drain every task that is ready at the current instant.
+            // Drain every task that is ready at the current instant. The
+            // borrow is released before polling: the task re-enters the
+            // queue through its `SimCtx` and wakers.
             loop {
-                let next = {
-                    let ready = Arc::clone(&self.core.borrow().ready);
-                    let popped = ready.lock().expect("ready queue poisoned").pop_front();
-                    popped
-                };
+                let next = ready.borrow_mut().pop_front();
                 match next {
                     Some(id) => self.poll_task(id),
                     None => break,
                 }
             }
-            // Advance the clock to the next calendar event.
+            // Advance the clock to the next calendar event, lazily
+            // discarding cancelled timers: they neither advance time nor
+            // count as events, so cancellation is invisible to everything
+            // that still runs.
             let wake = {
                 let mut core = self.core.borrow_mut();
-                match core.calendar.peek() {
-                    Some(Reverse(tw)) if limit.is_none_or(|l| tw.at <= l) => {
-                        let Reverse(tw) = core.calendar.pop().expect("peeked");
-                        core.now = tw.at;
-                        core.events += 1;
-                        Some(tw.waker)
+                loop {
+                    match core.calendar.peek() {
+                        Some(Reverse(tw)) if tw.is_cancelled() => {
+                            core.calendar.pop();
+                        }
+                        Some(Reverse(tw)) if limit.is_none_or(|l| tw.at <= l) => {
+                            let Reverse(tw) = core.calendar.pop().expect("peeked");
+                            core.now = tw.at;
+                            core.events += 1;
+                            if let WakeKind::Timer(_) = &tw.kind {
+                                core.timers_fired += 1;
+                            }
+                            break Some(tw.kind);
+                        }
+                        _ => break None,
                     }
-                    _ => None,
                 }
             };
             match wake {
-                Some(w) => w.wake(),
+                Some(WakeKind::Task(w)) => w.wake(),
+                Some(WakeKind::Poll(id)) => self.poll_task(id),
+                Some(WakeKind::Call(f)) => f(),
+                Some(WakeKind::Timer(cell)) => {
+                    cell.state.set(TimerState::Fired);
+                    if let Some(w) = cell.waker.borrow_mut().take() {
+                        w.wake();
+                    }
+                }
                 None => break,
             }
         }
@@ -421,38 +783,50 @@ impl Simulation {
             completed: core.completed,
             pending: core.spawned - core.completed,
             events: core.events,
+            timers_armed: core.timers_armed,
+            timers_cancelled: core.timers_cancelled,
+            timers_fired: core.timers_fired,
         }
     }
 
     fn poll_task(&self, id: TaskId) {
-        // Take the future out so the core is not borrowed while polling
-        // (the task will re-borrow it through its `SimCtx`).
-        let (fut, waker) = {
+        // Take the future out of its slot so the core is not borrowed while
+        // polling (the task will re-borrow it through its `SimCtx`). The
+        // generation check rejects wakes for slots that have been recycled.
+        let (mut fut, waker) = {
             let mut core = self.core.borrow_mut();
-            let fut = match core.tasks.get_mut(&id) {
-                Some(slot) => match slot.take() {
-                    Some(f) => f,
-                    // Already being polled higher up the stack; impossible
-                    // single-threaded, but be defensive.
-                    None => return,
-                },
-                // Task already completed; stale wake.
-                None => return,
+            let index = id.index();
+            let Some(slot) = core.slab.get_mut(index) else {
+                return;
             };
-            let waker = core.wakers.get(&id).expect("waker exists").clone();
+            if slot.generation != id.generation() {
+                // Stale wake: the task completed and its slot was reused.
+                return;
+            }
+            let Some(fut) = slot.fut.take() else {
+                // Duplicate wake in the same drain, or (impossible
+                // single-threaded) already being polled; ignore.
+                return;
+            };
+            let waker = Rc::clone(slot.waker.as_ref().expect("live task has a waker"));
+            core.current = Some(id);
             (fut, waker)
         };
-        let mut fut = fut;
         let mut cx = Context::from_waker(&waker);
-        match fut.as_mut().poll(&mut cx) {
+        let poll = fut.as_mut().poll(&mut cx);
+        let mut core = self.core.borrow_mut();
+        core.current = None;
+        match poll {
             Poll::Ready(()) => {
-                let mut core = self.core.borrow_mut();
-                core.tasks.remove(&id);
-                core.wakers.remove(&id);
+                let index = id.index();
+                let slot = &mut core.slab[index];
+                slot.generation = slot.generation.wrapping_add(1);
+                slot.waker = None;
+                core.free.push(index);
                 core.completed += 1;
             }
             Poll::Pending => {
-                self.core.borrow_mut().tasks.insert(id, Some(fut));
+                core.slab[id.index()].fut = Some(fut);
             }
         }
     }
@@ -629,5 +1003,191 @@ mod tests {
             (r.end.as_ns(), r.events, log)
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn slab_recycles_slots_with_fresh_generations() {
+        let sim = Simulation::new();
+        let a = sim.spawn(async {});
+        sim.run();
+        let b = sim.spawn(async {});
+        // Slot index is reused, but the generation differs so the ids stay
+        // distinct and stale wakes cannot reach the new task.
+        assert_ne!(a, b);
+        let r = sim.run();
+        assert!(r.completed_cleanly());
+        assert_eq!(r.spawned, 2);
+    }
+
+    #[test]
+    fn timer_fires_at_deadline() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            let outcome = ctx.timer(Dur::from_us(25.0)).await;
+            assert_eq!(outcome, TimerOutcome::Fired);
+            assert_eq!(ctx.now().as_us(), 25.0);
+        });
+        let r = sim.run();
+        assert!(r.completed_cleanly());
+        assert_eq!(r.timers_armed, 1);
+        assert_eq!(r.timers_fired, 1);
+        assert_eq!(r.timers_cancelled, 0);
+        assert_eq!(r.events, 1);
+    }
+
+    #[test]
+    fn zero_timer_fires_without_calendar_event() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            assert_eq!(ctx.timer(Dur::ZERO).await, TimerOutcome::Fired);
+        });
+        let r = sim.run();
+        assert!(r.completed_cleanly());
+        assert_eq!(r.events, 0);
+        assert_eq!(r.timers_fired, 1);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        let handle = Rc::new(RefCell::new(None));
+        let fired = Rc::new(Cell::new(false));
+        let (h1, f1) = (Rc::clone(&handle), Rc::clone(&fired));
+        let ctx1 = ctx.clone();
+        sim.spawn(async move {
+            let t = ctx1.timer(Dur::from_us(100.0));
+            *h1.borrow_mut() = Some(t.handle());
+            if t.await == TimerOutcome::Fired {
+                f1.set(true);
+            }
+            // Woken at the instant of cancellation, not the deadline.
+            assert_eq!(ctx1.now().as_us(), 10.0);
+        });
+        sim.spawn(async move {
+            ctx.delay(Dur::from_us(10.0)).await;
+            handle.borrow().as_ref().unwrap().cancel();
+        });
+        let r = sim.run();
+        assert!(r.completed_cleanly());
+        assert!(!fired.get(), "cancelled timer must never fire");
+        assert_eq!(r.timers_armed, 1);
+        assert_eq!(r.timers_cancelled, 1);
+        assert_eq!(r.timers_fired, 0);
+        // Only the canceller's delay is a calendar event: the dead timer
+        // entry is discarded without firing and the run ends at 10 us,
+        // not the timer's 100 us deadline.
+        assert_eq!(r.events, 1);
+        assert_eq!(r.end.as_us(), 10.0);
+    }
+
+    #[test]
+    fn double_cancel_is_a_noop() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        let done = Rc::new(Cell::new(false));
+        let done2 = Rc::clone(&done);
+        sim.spawn(async move {
+            let t = ctx.timer(Dur::from_us(50.0));
+            let h = t.handle();
+            ctx.spawn(async move {
+                h.cancel();
+                h.cancel();
+                assert!(!h.is_armed());
+            });
+            assert_eq!(t.await, TimerOutcome::Cancelled);
+            done2.set(true);
+        });
+        let r = sim.run();
+        assert!(r.completed_cleanly());
+        assert!(done.get());
+        assert_eq!(r.timers_cancelled, 1, "second cancel must not re-count");
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_noop() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            let t = ctx.timer(Dur::from_us(5.0));
+            let h = t.handle();
+            assert_eq!(t.await, TimerOutcome::Fired);
+            assert!(!h.is_armed());
+            h.cancel();
+        });
+        let r = sim.run();
+        assert!(r.completed_cleanly());
+        assert_eq!(r.timers_fired, 1);
+        assert_eq!(r.timers_cancelled, 0);
+    }
+
+    #[test]
+    fn cancelling_one_timer_leaves_others_untouched() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let handle = Rc::new(RefCell::new(None));
+        for (name, us) in [("a", 10.0), ("b", 20.0), ("c", 30.0)] {
+            let ctx = ctx.clone();
+            let order = Rc::clone(&order);
+            let handle = Rc::clone(&handle);
+            sim.spawn(async move {
+                let t = ctx.timer(Dur::from_us(us));
+                if name == "b" {
+                    *handle.borrow_mut() = Some(t.handle());
+                }
+                let outcome = t.await;
+                order.borrow_mut().push((name, outcome));
+            });
+        }
+        let ctx2 = sim.ctx();
+        sim.spawn(async move {
+            ctx2.delay(Dur::from_us(1.0)).await;
+            handle.borrow().as_ref().unwrap().cancel();
+        });
+        let r = sim.run();
+        assert!(r.completed_cleanly());
+        assert_eq!(
+            *order.borrow(),
+            vec![
+                ("b", TimerOutcome::Cancelled),
+                ("a", TimerOutcome::Fired),
+                ("c", TimerOutcome::Fired),
+            ]
+        );
+        assert_eq!(r.timers_armed, 3);
+        assert_eq!(r.timers_fired, 2);
+        assert_eq!(r.timers_cancelled, 1);
+    }
+
+    #[test]
+    fn stale_waker_from_dropped_simulation_is_harmless() {
+        // A waker can outlive its simulation (e.g. held by external code).
+        // Waking it must be a silent no-op, and must not perturb a newer
+        // simulation that recycled the registry slot.
+        let stolen = Rc::new(RefCell::new(None::<Waker>));
+        {
+            let sim = Simulation::new();
+            let thief = Rc::clone(&stolen);
+            sim.spawn(async move {
+                std::future::poll_fn(move |cx| {
+                    *thief.borrow_mut() = Some(cx.waker().clone());
+                    Poll::Ready(())
+                })
+                .await;
+            });
+            sim.run();
+        }
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            ctx.delay(Dur::from_us(1.0)).await;
+        });
+        stolen.borrow().as_ref().unwrap().wake_by_ref();
+        let r = sim.run();
+        assert!(r.completed_cleanly());
+        assert_eq!(r.spawned, 1);
     }
 }

@@ -51,7 +51,7 @@ mod stats;
 mod sync;
 mod time;
 
-pub use executor::{Delay, RunReport, SimCtx, Simulation, TaskId, YieldNow};
+pub use executor::{Delay, RunReport, SimCtx, Simulation, TaskId, Timer, TimerHandle, TimerOutcome, YieldNow};
 pub use resource::{Acquire, Resource, ResourceGuard};
 pub use stats::{Tally, TimeWeighted};
 pub use sync::{Channel, Counter, CounterWait, Recv, Send, Signal, SignalWait, TrySendError};

@@ -40,12 +40,60 @@ impl<T> fmt::Display for TrySendError<T> {
     }
 }
 
+/// A parked waiter: the registration key of its future plus the waker to
+/// call. Keys let a dropped future remove (or hand over) exactly its own
+/// entry — see [`WaiterQueue`].
+type Waiter = (u64, Waker);
+
+/// FIFO of parked waiters. Each waiting future owns a unique key; dropping
+/// the future unregisters it, so abandoned waits can neither leak wakers
+/// nor swallow a wake meant for a live waiter.
+#[derive(Default)]
+struct WaiterQueue {
+    q: VecDeque<Waiter>,
+}
+
+impl WaiterQueue {
+    /// Parks (or re-parks) waiter `key`. A waiter that is still queued has
+    /// its waker refreshed in place, keeping its FIFO position; one that
+    /// was popped by a wake re-registers at the back, as a fresh wait.
+    fn park(&mut self, key: u64, waker: &Waker) {
+        match self.q.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1.clone_from(waker),
+            None => self.q.push_back((key, waker.clone())),
+        }
+    }
+
+    /// Wakes the longest-parked waiter, if any.
+    fn wake_one(&mut self) {
+        if let Some((_, w)) = self.q.pop_front() {
+            w.wake();
+        }
+    }
+
+    fn wake_all(&mut self) {
+        for (_, w) in self.q.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Removes waiter `key`. Returns false if it was not queued — meaning
+    /// a wake was already consumed on its behalf.
+    fn unpark(&mut self, key: u64) -> bool {
+        let before = self.q.len();
+        self.q.retain(|(k, _)| *k != key);
+        self.q.len() != before
+    }
+}
+
 struct ChanState<T> {
     buf: VecDeque<T>,
     capacity: Option<usize>,
     closed: bool,
-    recv_wakers: VecDeque<Waker>,
-    send_wakers: VecDeque<Waker>,
+    recv_wakers: WaiterQueue,
+    send_wakers: WaiterQueue,
+    /// Source of registration keys for both waiter queues.
+    next_waiter: u64,
     /// High-water mark of queue occupancy, for contention statistics.
     max_len: usize,
     total_sent: u64,
@@ -53,19 +101,14 @@ struct ChanState<T> {
 
 impl<T> ChanState<T> {
     fn wake_one_receiver(&mut self) {
-        if let Some(w) = self.recv_wakers.pop_front() {
-            w.wake();
-        }
+        self.recv_wakers.wake_one();
     }
     fn wake_one_sender(&mut self) {
-        if let Some(w) = self.send_wakers.pop_front() {
-            w.wake();
-        }
+        self.send_wakers.wake_one();
     }
     fn wake_all(&mut self) {
-        for w in self.recv_wakers.drain(..).chain(self.send_wakers.drain(..)) {
-            w.wake();
-        }
+        self.recv_wakers.wake_all();
+        self.send_wakers.wake_all();
     }
 }
 
@@ -135,8 +178,9 @@ impl<T> Channel<T> {
                 buf: VecDeque::new(),
                 capacity,
                 closed: false,
-                recv_wakers: VecDeque::new(),
-                send_wakers: VecDeque::new(),
+                recv_wakers: WaiterQueue::default(),
+                send_wakers: WaiterQueue::default(),
+                next_waiter: 0,
                 max_len: 0,
                 total_sent: 0,
             })),
@@ -174,6 +218,7 @@ impl<T> Channel<T> {
         Send {
             chan: self,
             value: Some(value),
+            key: None,
         }
     }
 
@@ -181,7 +226,10 @@ impl<T> Channel<T> {
     ///
     /// Resolves to `None` once the channel is closed *and* drained.
     pub fn recv(&self) -> Recv<'_, T> {
-        Recv { chan: self }
+        Recv {
+            chan: self,
+            key: None,
+        }
     }
 
     /// Attempts to dequeue without blocking.
@@ -245,6 +293,7 @@ impl<T> fmt::Debug for Channel<T> {
 pub struct Send<'a, T> {
     chan: &'a Channel<T>,
     value: Option<T>,
+    key: Option<u64>,
 }
 
 impl<T> Unpin for Send<'_, T> {}
@@ -256,16 +305,52 @@ impl<T> Future for Send<'_, T> {
         let this = self.get_mut();
         let value = this.value.take().expect("polled Send after completion");
         match this.chan.try_send(value) {
-            Ok(()) => Poll::Ready(true),
-            Err(TrySendError::Closed(_)) => Poll::Ready(false),
+            Ok(()) => {
+                this.finish();
+                Poll::Ready(true)
+            }
+            Err(TrySendError::Closed(_)) => {
+                this.finish();
+                Poll::Ready(false)
+            }
             Err(TrySendError::Full(v)) => {
                 this.value = Some(v);
-                this.chan
-                    .state
-                    .borrow_mut()
-                    .send_wakers
-                    .push_back(cx.waker().clone());
+                let mut s = this.chan.state.borrow_mut();
+                let key = *this.key.get_or_insert_with(|| {
+                    let k = s.next_waiter;
+                    s.next_waiter += 1;
+                    k
+                });
+                s.send_wakers.park(key, cx.waker());
                 Poll::Pending
+            }
+        }
+    }
+}
+
+impl<T> Send<'_, T> {
+    /// Retires this future's registration on completion, so its `Drop`
+    /// does not mistake the consumed wake for an abandoned one.
+    fn finish(&mut self) {
+        if let Some(k) = self.key.take() {
+            self.chan.state.borrow_mut().send_wakers.unpark(k);
+        }
+    }
+}
+
+impl<T> Drop for Send<'_, T> {
+    fn drop(&mut self) {
+        let Some(k) = self.key.take() else { return };
+        let mut s = self.chan.state.borrow_mut();
+        if !s.send_wakers.unpark(k) {
+            // A wake was consumed for this future but never acted on. If
+            // there is still room (or the channel closed), hand the wake
+            // to the next parked sender so it is not stranded.
+            let has_room = s
+                .capacity
+                .is_none_or(|cap| s.buf.len() < cap);
+            if has_room || s.closed {
+                s.wake_one_sender();
             }
         }
     }
@@ -274,28 +359,59 @@ impl<T> Future for Send<'_, T> {
 /// Future returned by [`Channel::recv`].
 pub struct Recv<'a, T> {
     chan: &'a Channel<T>,
+    key: Option<u64>,
 }
+
+impl<T> Unpin for Recv<'_, T> {}
 
 impl<T> Future for Recv<'_, T> {
     type Output = Option<T>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
-        let mut s = self.chan.state.borrow_mut();
+        let this = self.get_mut();
+        let mut s = this.chan.state.borrow_mut();
         if let Some(v) = s.buf.pop_front() {
             s.wake_one_sender();
+            if let Some(k) = this.key.take() {
+                s.recv_wakers.unpark(k);
+            }
             return Poll::Ready(Some(v));
         }
         if s.closed {
+            if let Some(k) = this.key.take() {
+                s.recv_wakers.unpark(k);
+            }
             return Poll::Ready(None);
         }
-        s.recv_wakers.push_back(cx.waker().clone());
+        let key = *this.key.get_or_insert_with(|| {
+            let k = s.next_waiter;
+            s.next_waiter += 1;
+            k
+        });
+        s.recv_wakers.park(key, cx.waker());
         Poll::Pending
+    }
+}
+
+impl<T> Drop for Recv<'_, T> {
+    fn drop(&mut self) {
+        let Some(k) = self.key.take() else { return };
+        let mut s = self.chan.state.borrow_mut();
+        if !s.recv_wakers.unpark(k) {
+            // A wake was consumed for this future but never acted on. If
+            // an item (or the close) is still there to observe, hand the
+            // wake to the next parked receiver so it is not stranded.
+            if !s.buf.is_empty() || s.closed {
+                s.wake_one_receiver();
+            }
+        }
     }
 }
 
 struct SignalState<T> {
     value: Option<T>,
-    wakers: Vec<Waker>,
+    wakers: Vec<Waiter>,
+    next_waiter: u64,
 }
 
 /// A one-shot broadcast value: set once, awaited by any number of processes.
@@ -346,6 +462,7 @@ impl<T> Signal<T> {
             state: Rc::new(RefCell::new(SignalState {
                 value: None,
                 wakers: Vec::new(),
+                next_waiter: 0,
             })),
         }
     }
@@ -359,7 +476,7 @@ impl<T> Signal<T> {
         let mut s = self.state.borrow_mut();
         assert!(s.value.is_none(), "Signal::set called twice");
         s.value = Some(value);
-        for w in s.wakers.drain(..) {
+        for (_, w) in s.wakers.drain(..) {
             w.wake();
         }
     }
@@ -376,6 +493,7 @@ impl<T: Clone> Signal<T> {
     pub fn wait(&self) -> SignalWait<T> {
         SignalWait {
             state: Rc::clone(&self.state),
+            key: None,
         }
     }
 
@@ -397,26 +515,58 @@ impl<T> fmt::Debug for Signal<T> {
 /// Future returned by [`Signal::wait`].
 pub struct SignalWait<T> {
     state: Rc<RefCell<SignalState<T>>>,
+    key: Option<u64>,
 }
+
+impl<T> Unpin for SignalWait<T> {}
 
 impl<T: Clone> Future for SignalWait<T> {
     type Output = T;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
-        let mut s = self.state.borrow_mut();
+        let this = self.get_mut();
+        let mut s = this.state.borrow_mut();
         match &s.value {
-            Some(v) => Poll::Ready(v.clone()),
+            Some(v) => {
+                let v = v.clone();
+                this.key = None; // set() drained the list; nothing to remove
+                Poll::Ready(v)
+            }
             None => {
-                s.wakers.push(cx.waker().clone());
+                let key = match this.key {
+                    Some(k) => k,
+                    None => {
+                        let k = s.next_waiter;
+                        s.next_waiter += 1;
+                        this.key = Some(k);
+                        k
+                    }
+                };
+                match s.wakers.iter_mut().find(|(k, _)| *k == key) {
+                    Some(slot) => slot.1.clone_from(cx.waker()),
+                    None => s.wakers.push((key, cx.waker().clone())),
+                }
                 Poll::Pending
             }
         }
     }
 }
 
+impl<T> Drop for SignalWait<T> {
+    fn drop(&mut self) {
+        // A set() broadcast wakes everyone and leaves the value readable,
+        // so an abandoned wait only has to remove its own parked waker.
+        if let Some(k) = self.key.take() {
+            self.state.borrow_mut().wakers.retain(|(id, _)| *id != k);
+        }
+    }
+}
+
 struct CounterState {
     count: u64,
-    waiters: Vec<(u64, Waker)>,
+    /// `(key, target, waker)` per parked waiter.
+    waiters: Vec<(u64, u64, Waker)>,
+    next_waiter: u64,
 }
 
 /// A monotonically increasing counter with threshold waits.
@@ -461,6 +611,7 @@ impl Counter {
             state: Rc::new(RefCell::new(CounterState {
                 count: 0,
                 waiters: Vec::new(),
+                next_waiter: 0,
             })),
         }
     }
@@ -472,8 +623,8 @@ impl Counter {
         let count = s.count;
         let mut i = 0;
         while i < s.waiters.len() {
-            if s.waiters[i].0 <= count {
-                let (_, w) = s.waiters.swap_remove(i);
+            if s.waiters[i].1 <= count {
+                let (_, _, w) = s.waiters.swap_remove(i);
                 w.wake();
             } else {
                 i += 1;
@@ -497,6 +648,7 @@ impl Counter {
         CounterWait {
             state: Rc::clone(&self.state),
             target,
+            key: None,
         }
     }
 }
@@ -513,18 +665,47 @@ impl fmt::Debug for Counter {
 pub struct CounterWait {
     state: Rc<RefCell<CounterState>>,
     target: u64,
+    key: Option<u64>,
 }
+
+impl Unpin for CounterWait {}
 
 impl Future for CounterWait {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        let mut s = self.state.borrow_mut();
-        if s.count >= self.target {
+        let this = self.get_mut();
+        let mut s = this.state.borrow_mut();
+        if s.count >= this.target {
+            if let Some(k) = this.key.take() {
+                s.waiters.retain(|(id, _, _)| *id != k);
+            }
             Poll::Ready(())
         } else {
-            s.waiters.push((self.target, cx.waker().clone()));
+            let key = match this.key {
+                Some(k) => k,
+                None => {
+                    let k = s.next_waiter;
+                    s.next_waiter += 1;
+                    this.key = Some(k);
+                    k
+                }
+            };
+            match s.waiters.iter_mut().find(|(k, _, _)| *k == key) {
+                Some(slot) => slot.2.clone_from(cx.waker()),
+                None => s.waiters.push((key, this.target, cx.waker().clone())),
+            }
             Poll::Pending
+        }
+    }
+}
+
+impl Drop for CounterWait {
+    fn drop(&mut self) {
+        // The counter is monotonic and a met threshold stays met, so an
+        // abandoned wait only has to remove its own parked waker.
+        if let Some(k) = self.key.take() {
+            self.state.borrow_mut().waiters.retain(|(id, _, _)| *id != k);
         }
     }
 }
@@ -692,6 +873,144 @@ mod tests {
         });
         assert!(sim.run().completed_cleanly());
         assert_eq!(*times.borrow(), vec![(1, 1.0), (3, 3.0)]);
+    }
+
+    /// Polls `fut` exactly once (registering its waker) and abandons it.
+    async fn poll_once_and_drop<F: Future + Unpin>(mut fut: F) {
+        std::future::poll_fn(|cx| {
+            let _ = Pin::new(&mut fut).poll(cx);
+            Poll::Ready(())
+        })
+        .await;
+        drop(fut);
+    }
+
+    #[test]
+    fn dropped_recv_does_not_swallow_wakes() {
+        // Task A parks a recv waker, abandons the future, and moves on.
+        // Before keyed registration, its stale waker stayed first in the
+        // queue and consumed the wake for the item — task B slept forever.
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        let ch: Channel<u8> = Channel::unbounded();
+        let (rx_a, rx_b, tx) = (ch.clone(), ch.clone(), ch);
+        let got = Rc::new(Cell::new(0u8));
+        let got2 = Rc::clone(&got);
+        sim.spawn(async move {
+            poll_once_and_drop(rx_a.recv()).await;
+        });
+        sim.spawn(async move {
+            got2.set(rx_b.recv().await.unwrap());
+        });
+        sim.spawn(async move {
+            ctx.delay(Dur::from_us(1.0)).await;
+            tx.try_send(42).unwrap();
+        });
+        let r = sim.run();
+        assert!(r.completed_cleanly(), "receiver starved by a stale waker");
+        assert_eq!(got.get(), 42);
+    }
+
+    #[test]
+    fn dropped_send_does_not_swallow_wakes() {
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        let ch: Channel<u8> = Channel::bounded(1);
+        ch.try_send(0).unwrap(); // full from the start
+        let (tx_a, tx_b, rx) = (ch.clone(), ch.clone(), ch);
+        sim.spawn(async move {
+            poll_once_and_drop(tx_a.send(1)).await;
+        });
+        sim.spawn(async move {
+            assert!(tx_b.send(2).await);
+        });
+        sim.spawn(async move {
+            ctx.delay(Dur::from_us(1.0)).await;
+            assert_eq!(rx.try_recv(), Some(0));
+            ctx.delay(Dur::from_us(1.0)).await;
+            assert_eq!(rx.try_recv(), Some(2));
+        });
+        let r = sim.run();
+        assert!(r.completed_cleanly(), "sender starved by a stale waker");
+    }
+
+    #[test]
+    fn recv_woken_then_dropped_passes_the_wake_on() {
+        // Task A is woken for an item but abandons its recv before acting
+        // on it; the wake must be handed to the next parked receiver.
+        let sim = Simulation::new();
+        let ctx = sim.ctx();
+        let ch: Channel<u8> = Channel::unbounded();
+        let (rx_a, rx_b, tx) = (ch.clone(), ch.clone(), ch);
+        let got = Rc::new(Cell::new(0u8));
+        let got2 = Rc::clone(&got);
+        let ctx_a = ctx.clone();
+        sim.spawn(async move {
+            let mut fut = rx_a.recv();
+            std::future::poll_fn(|cx| {
+                let _ = Pin::new(&mut fut).poll(cx);
+                Poll::Ready(())
+            })
+            .await;
+            // Parked; the send below consumes our wake while we sleep
+            // elsewhere. Dropping the future must pass the wake to B.
+            ctx_a.delay(Dur::from_us(2.0)).await;
+            drop(fut);
+        });
+        sim.spawn(async move {
+            got2.set(rx_b.recv().await.unwrap());
+        });
+        sim.spawn(async move {
+            ctx.delay(Dur::from_us(1.0)).await;
+            tx.try_send(9).unwrap();
+        });
+        let r = sim.run();
+        assert!(r.completed_cleanly(), "wake was not passed on");
+        assert_eq!(got.get(), 9);
+    }
+
+    #[test]
+    fn dropped_signal_and_counter_waits_unregister() {
+        let sim = Simulation::new();
+        let sig: Signal<u8> = Signal::new();
+        let c = Counter::new();
+        let (sig2, c2) = (sig.clone(), c.clone());
+        sim.spawn(async move {
+            poll_once_and_drop(sig2.wait()).await;
+            poll_once_and_drop(c2.wait_for(5)).await;
+        });
+        assert!(sim.run().completed_cleanly());
+        assert!(sig.state.borrow().wakers.is_empty(), "leaked signal waker");
+        assert!(c.state.borrow().waiters.is_empty(), "leaked counter waiter");
+        // The primitives still work after the abandoned waits.
+        let sim = Simulation::new();
+        sim.spawn(async move {
+            sig.set(1);
+            c.add(5);
+        });
+        assert!(sim.run().completed_cleanly());
+    }
+
+    #[test]
+    fn repolling_a_parked_recv_does_not_duplicate_its_waker() {
+        let sim = Simulation::new();
+        let ch: Channel<u8> = Channel::unbounded();
+        let rx = ch.clone();
+        sim.spawn(async move {
+            let mut fut = rx.recv();
+            // Poll the same pending future twice before abandoning it;
+            // only one registration may exist.
+            std::future::poll_fn(|cx| {
+                let _ = Pin::new(&mut fut).poll(cx);
+                let _ = Pin::new(&mut fut).poll(cx);
+                Poll::Ready(())
+            })
+            .await;
+            assert_eq!(rx.state.borrow().recv_wakers.q.len(), 1);
+            drop(fut);
+            assert_eq!(rx.state.borrow().recv_wakers.q.len(), 0);
+        });
+        assert!(sim.run().completed_cleanly());
     }
 
     #[test]

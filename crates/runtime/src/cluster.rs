@@ -22,6 +22,8 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
+
 use crate::mem::Segment;
 use crate::spsc::{self, Entry};
 
@@ -137,7 +139,7 @@ struct ProcShared {
     node: usize,
     seg: Segment,
     flags: Vec<Arc<AtomicU64>>,
-    queues: Vec<Arc<PolledFifo<Vec<u8>>>>,
+    queues: Vec<Arc<PolledFifo<Bytes>>>,
     faults: Arc<AtomicU64>,
     timeouts: Arc<AtomicU64>,
 }
@@ -146,7 +148,7 @@ enum WireMsg {
     Put {
         dst: u32,
         raddr: u64,
-        data: Vec<u8>,
+        data: Bytes,
         rsync: Option<u32>,
         ack: Option<(usize, u64)>,
     },
@@ -160,12 +162,12 @@ enum WireMsg {
     },
     GetReply {
         token: u64,
-        data: Option<Vec<u8>>,
+        data: Option<Bytes>,
     },
     Enq {
         dst: u32,
         rq: u32,
-        data: Vec<u8>,
+        data: Bytes,
         rsync: Option<u32>,
         ack: Option<(usize, u64)>,
     },
@@ -553,8 +555,10 @@ impl Endpoint {
     }
 
     /// Non-blocking dequeue from one of this process's own remote queues.
+    /// The payload is a shared buffer: it was snapshotted once at the
+    /// sender's proxy and travelled the wire without further copies.
     #[must_use]
-    pub fn rq_try_recv(&self, rq: RqId) -> Option<Vec<u8>> {
+    pub fn rq_try_recv(&self, rq: RqId) -> Option<Bytes> {
         self.me.queues[rq.0 as usize].pop()
     }
 

@@ -93,7 +93,7 @@ mod tests {
         e0.enq(0, e1.asid(), RqId(2), 5, Some(FlagId(3)), Some(FlagId(4)));
         e0.wait_flag(FlagId(3), 1);
         e1.wait_flag(FlagId(4), 1);
-        assert_eq!(e1.rq_try_recv(RqId(2)).unwrap(), b"ping!");
+        assert_eq!(&e1.rq_try_recv(RqId(2)).unwrap()[..], b"ping!");
         assert!(e1.rq_try_recv(RqId(2)).is_none());
         cluster.shutdown();
     }

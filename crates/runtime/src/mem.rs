@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
+use bytes::Bytes;
+
 /// A byte-addressable shared segment.
 #[derive(Clone)]
 pub struct Segment {
@@ -37,18 +39,22 @@ impl Segment {
             .is_some_and(|end| end <= self.bytes.len())
     }
 
-    /// Copies `n` bytes out of the segment.
+    /// Copies `n` bytes out of the segment into a shared buffer.
+    ///
+    /// The snapshot is taken once; the returned [`Bytes`] can then travel
+    /// through wire queues and be cloned per hop without further copies.
     ///
     /// # Panics
     ///
     /// Panics if out of bounds (callers validate first).
     #[must_use]
-    pub fn read(&self, addr: u64, n: usize) -> Vec<u8> {
+    pub fn read(&self, addr: u64, n: usize) -> Bytes {
         let s = addr as usize;
-        self.bytes[s..s + n]
+        let v: Vec<u8> = self.bytes[s..s + n]
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
-            .collect()
+            .collect();
+        Bytes::from(v)
     }
 
     /// Copies `data` into the segment.
@@ -66,7 +72,7 @@ impl Segment {
     /// Reads a little-endian `u64`.
     #[must_use]
     pub fn read_u64(&self, addr: u64) -> u64 {
-        u64::from_le_bytes(self.read(addr, 8).try_into().expect("8 bytes"))
+        u64::from_le_bytes(self.read(addr, 8)[..].try_into().expect("8 bytes"))
     }
 
     /// Writes a little-endian `u64`.
@@ -102,7 +108,7 @@ mod tests {
     fn round_trips() {
         let s = Segment::new(64);
         s.write(0, b"hello");
-        assert_eq!(s.read(0, 5), b"hello");
+        assert_eq!(&s.read(0, 5)[..], b"hello");
         s.write_u64(8, 0xfeed);
         assert_eq!(s.read_u64(8), 0xfeed);
         s.write_f64(16, -1.25);

@@ -342,18 +342,14 @@ impl<M: Clone + 'static> NetPort<M> {
         if fate.duplicate {
             let dup = mk(message.clone(), false);
             let rx = rx.clone();
-            let ctx = s.ctx.clone();
             let delay = transit + Dur::from_us(fate.dup_extra_us);
-            s.ctx.spawn(async move {
-                ctx.delay(delay).await;
+            s.ctx.call_after(delay, move || {
                 let _ = rx.try_send(dup);
             });
         }
         let pkt = mk(message, fate.corrupt);
-        let ctx = s.ctx.clone();
         let delay = transit + Dur::from_us(fate.extra_us);
-        s.ctx.spawn(async move {
-            ctx.delay(delay).await;
+        s.ctx.call_after(delay, move || {
             let _ = rx.try_send(pkt);
         });
     }

@@ -1,0 +1,81 @@
+//! Regression gates for the benchmark reports and the simulator's
+//! timer machinery.
+//!
+//! The checked-in `results/*.txt` files are the ground truth for the
+//! paper reproduction: every engine change must reproduce them byte for
+//! byte, whether the report is generated serially, a second time in the
+//! same process, or through the parallel sweep driver.
+
+use mproxy::micro::pingpong_verified;
+use mproxy_bench::reports;
+use mproxy_model::MP1;
+
+const FIG7_EXPECTED: &str = include_str!("../../results/fig7.txt");
+const FAULT_SWEEP_EXPECTED: &str = include_str!("../../results/fault_sweep.txt");
+
+#[test]
+fn fault_sweep_report_matches_checked_in_results() {
+    let first = reports::fault_sweep_report();
+    assert!(
+        first == FAULT_SWEEP_EXPECTED,
+        "fault sweep drifted from results/fault_sweep.txt"
+    );
+    let second = reports::fault_sweep_report();
+    assert!(first == second, "fault sweep not repeatable in-process");
+}
+
+#[test]
+fn fig7_report_matches_checked_in_results() {
+    let first = reports::fig7_report();
+    assert!(
+        first == FIG7_EXPECTED,
+        "fig7 drifted from results/fig7.txt"
+    );
+    let second = reports::fig7_report();
+    assert!(first == second, "fig7 not repeatable in-process");
+}
+
+#[test]
+fn parallel_fig7_is_byte_identical_to_serial() {
+    // Two workers on the twelve (protocol, design-point) sections: the
+    // driver must reassemble them in submission order regardless of
+    // which thread finishes first.
+    let parallel = reports::fig7_report_parallel(2);
+    assert!(
+        parallel == FIG7_EXPECTED,
+        "parallel fig7 drifted from results/fig7.txt"
+    );
+}
+
+#[test]
+fn fault_sweep_arms_far_more_timers_than_it_fires() {
+    // Retransmit timers are armed for every reliable send but almost
+    // every ACK lands first and cancels its timer — only genuinely
+    // dropped packets let one fire. The cancellation-aware calendar is
+    // what makes this cheap; the counters prove it is exercised.
+    let pp = pingpong_verified(MP1, 64, 64, Some(reports::sweep_plan(0.01)));
+    assert!(pp.data_ok, "workload lost data");
+    let t = &pp.sim;
+    assert!(
+        t.timers_armed > 100,
+        "expected a timer per reliable send, got {} armed",
+        t.timers_armed
+    );
+    assert!(
+        t.timers_cancelled > 0,
+        "no timer was ever cancelled — ACKs are not disarming retransmits"
+    );
+    assert!(
+        t.timers_fired * 10 <= t.timers_armed,
+        "{} of {} timers fired; cancellation is not suppressing retransmits",
+        t.timers_fired,
+        t.timers_armed
+    );
+    assert!(
+        t.timers_fired + t.timers_cancelled <= t.timers_armed,
+        "timer accounting broken: {} fired + {} cancelled > {} armed",
+        t.timers_fired,
+        t.timers_cancelled,
+        t.timers_armed
+    );
+}

@@ -32,7 +32,7 @@ fn mixed_ops_across_three_nodes() {
     let mut got = Vec::new();
     while got.len() < 10 {
         if let Some(v) = e2.rq_try_recv(RqId(1)) {
-            got.push(u64::from_le_bytes(v.try_into().unwrap()));
+            got.push(u64::from_le_bytes(v[..].try_into().unwrap()));
         }
     }
     assert_eq!(got, (0..10).collect::<Vec<_>>());
