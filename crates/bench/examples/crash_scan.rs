@@ -1,0 +1,88 @@
+//! Diagnostic scanner for the crash-recovery protocol.
+//!
+//! Three modes:
+//!
+//! * `crash_scan pp` — sweeps the crash instant across the verified
+//!   ping-pong, printing outcome/recovery counters per instant. Clean
+//!   instants recover 64/64 with one resync; instants that catch an
+//!   un-ACKed PUT fail-stop with `EpochReset`.
+//! * `crash_scan app` — the same sweep over the Sample application,
+//!   checking the checksum against a crash-free run.
+//! * `crash_scan soak <case>` — replays one case of the randomized
+//!   `crash_plus_fault_matrix_soak` integration test standalone (same
+//!   SplitMix64 derivation), for bisecting a failing case under a
+//!   timeout. This is how the `stall_gate` tick-rounding livelock was
+//!   isolated.
+
+use mproxy::micro::pingpong_verified;
+use mproxy_apps::{run_app_flat, run_app_flat_faulty, AppId, AppSize};
+use mproxy_bench::reports::sweep_plan;
+use mproxy_model::MP1;
+
+/// Copy of the mproxy-tests SplitMix64 draw helpers (that crate is not a
+/// dependency here) so soak cases reproduce bit-exactly.
+struct Rng {
+    state: u64,
+}
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * (hi - lo)
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "pp".into());
+    if which == "soak" {
+        let case: u64 = std::env::args().nth(2).unwrap().parse().unwrap();
+        let mut rng = Rng::new(0xc4a5_0000 + case);
+        let node = usize::from(case.is_multiple_of(2));
+        let at = rng.f64_range(30.0, 450.0);
+        let downtime = rng.f64_range(120.0, 400.0);
+        let plan = mproxy::FaultPlan::new(rng.next_u64())
+            .drop(rng.f64_range(0.0, 0.06))
+            .duplicate(rng.f64_range(0.0, 0.03))
+            .reorder(rng.f64_range(0.0, 0.06), rng.f64_range(5.0, 40.0))
+            .corrupt(rng.f64_range(0.0, 0.03))
+            .crash(node, at, downtime);
+        eprintln!("case {case}: node {node} at {at:.1} down {downtime:.1}");
+        let r = pingpong_verified(MP1, 64, 64, Some(plan));
+        println!("case {case}: rounds={} ok={} err={:?}", r.rounds, r.data_ok, r.error);
+        return;
+    }
+    if which == "pp" {
+        for t in (40..400).step_by(4) {
+            let plan = sweep_plan(0.01).crash(1, f64::from(t), 250.0);
+            let r = pingpong_verified(MP1, 64, 64, Some(plan));
+            let resyncs = r.report.link.epoch_resyncs;
+            println!(
+                "t={t} rounds={} ok={} err={:?} resyncs={resyncs} replayed={} hellos={} epochs={:?}",
+                r.rounds, r.data_ok, r.error, r.report.link.replayed, r.report.link.hellos_sent, r.epochs
+            );
+        }
+    } else {
+        let base = run_app_flat(AppId::Sample, MP1, 2, AppSize::Tiny);
+        println!("base elapsed={} checksum={}", base.elapsed_us, base.checksum);
+        for t in (100..3000).step_by(50) {
+            let plan = sweep_plan(0.01).crash(1, f64::from(t), 250.0);
+            let r = run_app_flat_faulty(AppId::Sample, MP1, 2, AppSize::Tiny, plan);
+            println!(
+                "t={t} elapsed={:.1} ok={} resyncs={} replayed={} unreach={}",
+                r.elapsed_us,
+                r.checksum == base.checksum,
+                r.faults.link.epoch_resyncs,
+                r.faults.link.replayed,
+                r.faults.link.unreachable
+            );
+        }
+    }
+}

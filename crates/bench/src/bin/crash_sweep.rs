@@ -1,0 +1,13 @@
+//! Crash-recovery sweep: the MP1 verified ping-pong and the Sample
+//! application with a mid-run proxy crash on a lossy network. The
+//! epoch/HELLO resync protocol must deliver every message exactly once
+//! when the crash catches no un-ACKed work, surface `EpochReset` when it
+//! does, and do either deterministically — the report re-runs each crash
+//! case and asserts byte-identity.
+//!
+//! Thin wrapper over [`mproxy_bench::reports::crash_sweep_report`] so
+//! tests reproduce the same bytes.
+
+fn main() {
+    print!("{}", mproxy_bench::reports::crash_sweep_report());
+}

@@ -19,7 +19,7 @@ use mproxy_simnet::{
 };
 
 use crate::addr::{Asid, ProcId};
-use crate::engine::reliable::{LinkLayer, LinkStats};
+use crate::engine::reliable::{LinkLayer, LinkSnapshot, LinkStats};
 use crate::engine::{self, ProxyInput, WireMsg};
 use crate::error::CommError;
 use crate::mem::Memory;
@@ -49,6 +49,18 @@ pub struct ClusterSpec {
     /// Retransmission schedule of the reliable link layer (used only when
     /// the cluster is built with a fault plan).
     pub xmit_retry: RetryPolicy,
+    /// Per-process command-queue credit limit: each process may have at
+    /// most this many commands submitted-but-not-yet-serviced at its
+    /// node's engine. 0 (the default) disables flow control entirely.
+    pub cmd_credits: u32,
+    /// When credits are exhausted, fail the submission with
+    /// [`CommError::CreditsExhausted`] instead of blocking for a free
+    /// slot (only meaningful with `cmd_credits > 0`).
+    pub credit_fail_fast: bool,
+    /// Retransmit-buffer cap per destination of the reliable link layer;
+    /// overflow parks in a FIFO backlog, keeping link-layer memory
+    /// O(window) under sustained loss (used only with a fault plan).
+    pub link_window: usize,
 }
 
 impl ClusterSpec {
@@ -64,6 +76,9 @@ impl ClusterSpec {
             work_unit_ns: 20,
             deq_retry: RetryPolicy::deq_default(),
             xmit_retry: RetryPolicy::xmit_default(),
+            cmd_credits: 0,
+            credit_fail_fast: false,
+            link_window: 64,
         }
     }
 
@@ -84,6 +99,9 @@ impl ClusterSpec {
         }
         if self.procs_per_node == 0 {
             return Err("nodes need at least one compute processor".into());
+        }
+        if self.link_window == 0 {
+            return Err("link window must be at least 1".into());
         }
         self.design.machine.validate()
     }
@@ -116,6 +134,11 @@ pub(crate) struct ProcState {
     /// First communication failure that poisoned this process (see
     /// [`crate::engine::reliable::poison_proc`]).
     pub(crate) comm_error: RefCell<Option<CommError>>,
+    /// Command-queue credit tokens, present when the spec enables flow
+    /// control: a submission takes one, the engine returns it when it
+    /// starts servicing the command. Closed when the process is poisoned
+    /// so blocked submitters wake.
+    pub(crate) credits: Option<Channel<()>>,
 }
 
 pub(crate) struct NodeState {
@@ -129,6 +152,9 @@ pub(crate) struct NodeState {
     /// protocol logic) — numerator of Table 6's interface utilisation.
     pub(crate) engine_busy: Cell<Dur>,
     pub(crate) engine_ops: Cell<u64>,
+    /// Queueing delay of user commands, submission to engine service
+    /// start — the measured counterpart of the §5.4 contention model.
+    pub(crate) cmd_wait: RefCell<Tally>,
     pub(crate) ccbs: RefCell<crate::fxhash::FxHashMap<u64, engine::Ccb>>,
     pub(crate) next_token: Cell<u64>,
     /// Reliable-delivery state, present only when the cluster was built
@@ -147,6 +173,10 @@ impl NodeState {
         self.engine_busy.set(self.engine_busy.get() + d);
         self.engine_ops.set(self.engine_ops.get() + 1);
     }
+
+    pub(crate) fn record_cmd_wait(&self, d: Dur) {
+        self.cmd_wait.borrow_mut().add(d.as_us());
+    }
 }
 
 pub(crate) struct ClusterState {
@@ -160,6 +190,9 @@ pub(crate) struct ClusterState {
     pub(crate) started: SimTime,
     /// Fault-injection state shared with the network, when installed.
     pub(crate) faults: Option<Rc<FaultState>>,
+    /// True when the fault plan schedules at least one proxy crash (gates
+    /// debug assertions that orphaned replies are impossible).
+    pub(crate) crashes_possible: bool,
 }
 
 impl ClusterState {
@@ -282,6 +315,13 @@ impl Cluster {
         let procs: Vec<Rc<ProcState>> = (0..spec.nprocs())
             .map(|r| {
                 let node = r / spec.procs_per_node;
+                let credits = (spec.cmd_credits > 0).then(|| {
+                    let ch = Channel::bounded(spec.cmd_credits as usize);
+                    for _ in 0..spec.cmd_credits {
+                        ch.try_send(()).expect("credit channel sized to limit");
+                    }
+                    ch
+                });
                 Rc::new(ProcState {
                     id: ProcId(r as u32),
                     node,
@@ -293,6 +333,7 @@ impl Cluster {
                     cpu: Resource::new(ctx, format!("cpu[{r}]"), 1),
                     stats: RefCell::new(ProcStats::default()),
                     comm_error: RefCell::new(None),
+                    credits,
                 })
             })
             .collect();
@@ -307,6 +348,7 @@ impl Cluster {
                         port.clone(),
                         spec.xmit_retry,
                         procs.clone(),
+                        spec.link_window,
                     )
                 });
                 Rc::new(NodeState {
@@ -316,12 +358,17 @@ impl Cluster {
                     port,
                     engine_busy: Cell::new(Dur::ZERO),
                     engine_ops: Cell::new(0),
+                    cmd_wait: RefCell::new(Tally::new()),
                     ccbs: RefCell::new(crate::fxhash::FxHashMap::default()),
                     next_token: Cell::new(0),
                     link,
                 })
             })
             .collect();
+
+        let crashes_possible = faults.as_ref().is_some_and(|f| {
+            (0..spec.nodes).any(|n| f.plan().crashes_on(n).next().is_some())
+        });
 
         let state = Rc::new(ClusterState {
             allow_all: Cell::new(spec.allow_all),
@@ -333,7 +380,26 @@ impl Cluster {
             app_done: Counter::new(),
             started: ctx.now(),
             faults,
+            crashes_possible,
         });
+
+        // Drive the fault plan's crash windows: one task per crashing node
+        // wipes its volatile proxy state at each window and restarts the
+        // link layer into a new epoch afterwards.
+        if let Some(f) = &state.faults {
+            for n in 0..state.spec.nodes {
+                let mut windows: Vec<_> = f.plan().crashes_on(n).collect();
+                if windows.is_empty() {
+                    continue;
+                }
+                windows.sort_by(|a, b| a.at_us.total_cmp(&b.at_us));
+                ctx.spawn(engine::reliable::crash_driver(
+                    Rc::clone(&state),
+                    n,
+                    windows,
+                ));
+            }
+        }
 
         // Start the per-node communication agents.
         for node in &state.nodes {
@@ -500,9 +566,66 @@ impl Cluster {
                 link.dups_discarded += s.dups_discarded;
                 link.held_out_of_order += s.held_out_of_order;
                 link.unreachable += s.unreachable;
+                // Worst single-destination occupancy across nodes (a sum
+                // would be meaningless against the per-destination window).
+                link.peak_pending = link.peak_pending.max(s.peak_pending);
+                link.backlogged += s.backlogged;
+                link.hellos_sent += s.hellos_sent;
+                link.replayed += s.replayed;
+                link.stale_discarded += s.stale_discarded;
+                link.epoch_resyncs += s.epoch_resyncs;
             }
         }
         FaultReport { injected, link }
+    }
+
+    /// Number and mean (µs) of command queueing delays observed at
+    /// `node`'s engine: submission instant to service start, the measured
+    /// counterpart of the Section 5.4 contention model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn cmd_wait_us(&self, node: usize) -> (u64, f64) {
+        let t = self.state.nodes[node].cmd_wait.borrow();
+        (t.count(), t.mean())
+    }
+
+    /// Peak occupancy of `node`'s merged engine input queue over the run
+    /// (commands and packets); with credits enabled the command share is
+    /// bounded by `procs_per_node * cmd_credits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn engine_queue_peak(&self, node: usize) -> usize {
+        self.state.nodes[node].proxy_input.max_len()
+    }
+
+    /// Busy time (µs) and serviced-operation count of `node`'s
+    /// communication agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn engine_busy_us(&self, node: usize) -> (f64, u64) {
+        let n = &self.state.nodes[node];
+        (n.engine_busy.get().as_us(), n.engine_ops.get())
+    }
+
+    /// Reliable-link snapshot of `node`: its current epoch plus, per peer,
+    /// the last sequence sent and next expected — sorted by peer, for
+    /// byte-stable determinism checks. `None` without a fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn link_snapshot(&self, node: usize) -> Option<LinkSnapshot> {
+        self.state.nodes[node].link.as_ref().map(|l| l.snapshot())
     }
 
     /// Aggregate Table 6-style traffic report over the elapsed run.

@@ -78,7 +78,6 @@ pub(crate) enum Command {
 }
 
 impl Command {
-    #[allow(dead_code)]
     pub(crate) fn src(&self) -> ProcId {
         match self {
             Command::Put { src, .. }
@@ -145,6 +144,22 @@ pub(crate) enum WireMsg {
     LinkNack {
         seq: u64,
     },
+    /// Epoch-resync request from a proxy that crashed and restarted:
+    /// announces the restarted node's new epoch and the highest in-order
+    /// sequence it had delivered *from* the receiver before the crash, so
+    /// the receiver can prune its retransmit buffer and replay the rest.
+    Hello {
+        epoch: u32,
+        last_delivered: u64,
+    },
+    /// Epoch-resync acknowledgement from a survivor: echoes the epoch and
+    /// reports the highest sequence it delivered *from* the restarted
+    /// node, so the restarted node resumes numbering where the survivor
+    /// expects it.
+    HelloAck {
+        epoch: u32,
+        last_delivered: u64,
+    },
 }
 
 impl WireMsg {
@@ -164,7 +179,9 @@ impl WireMsg {
 /// arriving packets (the Figure 5 loop polls both).
 #[derive(Debug)]
 pub(crate) enum ProxyInput {
-    Cmd(Command),
+    /// A user command and its submission instant (for queueing-delay
+    /// statistics against the §5.4 contention model).
+    Cmd(Command, mproxy_des::SimTime),
     Pkt(Packet<WireMsg>),
     /// Re-probe a remote queue for a pending DEQ.
     RetryDeq(u64),

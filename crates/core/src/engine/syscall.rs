@@ -247,14 +247,18 @@ fn target_proc(node: &NodeState, msg: &WireMsg) -> Option<ProcId> {
             None => None,
         },
         // Consumed by the link layer before dispatch.
-        WireMsg::LinkAck { .. } | WireMsg::LinkNack { .. } => None,
+        WireMsg::LinkAck { .. }
+        | WireMsg::LinkNack { .. }
+        | WireMsg::Hello { .. }
+        | WireMsg::HelloAck { .. } => None,
     }
 }
 
 async fn handle_interrupt(node: &Rc<NodeState>, cs: &Rc<ClusterState>, msg: WireMsg) {
     let k = Costs::of(cs);
     let Some(proc) = target_proc(node, &msg) else {
-        debug_assert!(false, "interrupt for unknown CCB");
+        // A reply whose CCB a crash wiped has no process to interrupt.
+        debug_assert!(cs.crashes_possible, "interrupt for unknown CCB");
         return;
     };
     // Steal the target's compute processor for the handler. The busy time
@@ -455,7 +459,10 @@ async fn handle_interrupt(node: &Rc<NodeState>, cs: &Rc<ClusterState>, msg: Wire
                 set_flag(cs, proc, f);
             }
         }
-        WireMsg::LinkAck { .. } | WireMsg::LinkNack { .. } => {
+        WireMsg::LinkAck { .. }
+        | WireMsg::LinkNack { .. }
+        | WireMsg::Hello { .. }
+        | WireMsg::HelloAck { .. } => {
             debug_assert!(false, "link control leaked into interrupt handler");
         }
     }

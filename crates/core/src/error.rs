@@ -53,6 +53,23 @@ pub enum CommError {
     },
     /// A bounded wait or retry schedule ran out of attempts.
     Timeout,
+    /// The peer node's proxy crashed and restarted into a new epoch;
+    /// operations that were in flight but never acknowledged may or may
+    /// not have taken effect and cannot be replayed transparently.
+    EpochReset {
+        /// The node whose proxy crashed.
+        node: usize,
+        /// The epoch the connection resynchronised into.
+        epoch: u32,
+    },
+    /// The submitting process exhausted its command-queue credits and
+    /// asked to fail fast rather than block for a free slot.
+    CreditsExhausted {
+        /// Who attempted the submission.
+        src: ProcId,
+        /// The configured per-process credit limit.
+        limit: u32,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -80,6 +97,15 @@ impl fmt::Display for CommError {
                 write!(f, "node {dst} unreachable after {attempts} transmissions")
             }
             CommError::Timeout => write!(f, "operation timed out"),
+            CommError::EpochReset { node, epoch } => {
+                write!(
+                    f,
+                    "node {node} proxy crashed; connection reset into epoch {epoch}"
+                )
+            }
+            CommError::CreditsExhausted { src, limit } => {
+                write!(f, "{src} exhausted its {limit} command-queue credits")
+            }
         }
     }
 }
@@ -110,5 +136,15 @@ mod tests {
         };
         assert_eq!(e.to_string(), "node 3 unreachable after 8 transmissions");
         assert_eq!(CommError::Timeout.to_string(), "operation timed out");
+        let e = CommError::EpochReset { node: 1, epoch: 2 };
+        assert_eq!(
+            e.to_string(),
+            "node 1 proxy crashed; connection reset into epoch 2"
+        );
+        let e = CommError::CreditsExhausted {
+            src: ProcId(4),
+            limit: 16,
+        };
+        assert_eq!(e.to_string(), "p4 exhausted its 16 command-queue credits");
     }
 }

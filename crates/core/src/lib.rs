@@ -62,7 +62,7 @@ mod retry;
 
 pub use addr::{Addr, Asid, FlagId, ProcId, RemoteFlag, RemoteQueue, RqId};
 pub use cluster::{Cluster, ClusterSpec, FaultReport, ProcStats, TrafficReport};
-pub use engine::reliable::LinkStats;
+pub use engine::reliable::{LinkSnapshot, LinkStats};
 pub use error::CommError;
 pub use flags::SyncFlag;
 pub use mem::{Memory, CACHE_LINE_BYTES};
@@ -70,4 +70,4 @@ pub use process::Proc;
 pub use retry::RetryPolicy;
 
 // Convenience re-exports so fault-injection users need only this crate.
-pub use mproxy_simnet::{FaultCounts, FaultPlan, StallWindow};
+pub use mproxy_simnet::{CrashWindow, FaultCounts, FaultPlan, StallWindow};

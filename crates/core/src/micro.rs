@@ -17,6 +17,7 @@ use mproxy_simnet::FaultPlan;
 
 use crate::addr::{Asid, ProcId};
 use crate::cluster::{Cluster, ClusterSpec, FaultReport};
+use crate::engine::reliable::LinkSnapshot;
 use crate::error::CommError;
 
 /// Results of [`run_micro`], in the units of Table 4.
@@ -256,6 +257,10 @@ pub struct VerifiedPingPong {
     pub error: Option<CommError>,
     /// Injected faults and link-layer recovery counters.
     pub report: FaultReport,
+    /// Final per-node link snapshots — epoch plus per-peer (peer, last
+    /// sequence sent, next expected) — for crash-recovery determinism
+    /// checks. Empty when the run had no fault plan.
+    pub epochs: Vec<LinkSnapshot>,
     /// The simulator's own run report — event and task counts, used by
     /// the performance harness to compute events/sec.
     pub sim: RunReport,
@@ -349,6 +354,7 @@ pub fn pingpong_verified(
         data_ok,
         error,
         report: cluster.fault_report(),
+        epochs: (0..2).filter_map(|n| cluster.link_snapshot(n)).collect(),
         sim: run,
     }
 }

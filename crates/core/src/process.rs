@@ -523,6 +523,33 @@ impl Proc {
         s.msg_sizes.add(f64::from(nbytes));
     }
 
+    /// Takes one command-queue credit when the spec enables flow control:
+    /// blocks for a free slot by default, or fails fast with
+    /// [`CommError::CreditsExhausted`] when configured. The engine returns
+    /// the credit at service start.
+    async fn acquire_credit(&self) -> Result<(), CommError> {
+        let Some(ch) = self.state().credits.clone() else {
+            return Ok(());
+        };
+        if self.cs.spec.credit_fail_fast {
+            return match ch.try_recv() {
+                Some(()) => Ok(()),
+                None => Err(CommError::CreditsExhausted {
+                    src: self.id,
+                    limit: self.cs.spec.cmd_credits,
+                }),
+            };
+        }
+        match ch.recv().await {
+            Some(()) => Ok(()),
+            // Closed while waiting: the process was poisoned.
+            None => Err(self.comm_error().unwrap_or(CommError::CreditsExhausted {
+                src: self.id,
+                limit: self.cs.spec.cmd_credits,
+            })),
+        }
+    }
+
     /// Routes a validated command: same-node operations run directly
     /// through shared memory; remote ones go to the node's engine.
     async fn dispatch(&self, cmd: Command, dst: ProcId) -> Result<(), CommError> {
@@ -533,6 +560,7 @@ impl Proc {
         }
         match d.arch {
             Arch::MessageProxy => {
+                self.acquire_credit().await?;
                 // Submission: two shared-memory misses to write the command
                 // queue entry plus the library-call instructions.
                 self.hold_cpu(Dur::from_us(
@@ -540,12 +568,17 @@ impl Proc {
                 ))
                 .await;
                 let node = self.cs.node_of(self.id);
-                let _ = node.proxy_input.try_send(ProxyInput::Cmd(cmd));
+                let _ = node
+                    .proxy_input
+                    .try_send(ProxyInput::Cmd(cmd, self.cs.ctx.now()));
             }
             Arch::CustomHardware => {
+                self.acquire_credit().await?;
                 self.hold_cpu(Dur::from_us(d.hw_submit_us)).await;
                 let node = self.cs.node_of(self.id);
-                let _ = node.proxy_input.try_send(ProxyInput::Cmd(cmd));
+                let _ = node
+                    .proxy_input
+                    .try_send(ProxyInput::Cmd(cmd, self.cs.ctx.now()));
             }
             Arch::SystemCall => {
                 let node = Rc::clone(self.cs.node_of(self.id));

@@ -23,6 +23,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use mproxy_model::contention::STABLE_UTILIZATION;
 
 use crate::mem::Segment;
 use crate::spsc::{self, Entry};
@@ -33,6 +34,21 @@ pub const NUM_FLAGS: usize = 64;
 pub const NUM_QUEUES: usize = 8;
 /// Command queue depth per process.
 pub const CMDQ_DEPTH: usize = 128;
+
+/// Utilisation below which a saturated proxy is considered recovered.
+/// Sits under [`STABLE_UTILIZATION`] so the flag doesn't flap when load
+/// hovers at the §5.4 bound.
+pub const RECOVERY_UTILIZATION: f64 = 0.4;
+
+/// Wire backlog (packets) past which a saturated, shedding-enabled proxy
+/// starts dropping request traffic.
+pub const SHED_BACKLOG: usize = CMDQ_DEPTH;
+
+/// Most entries a proxy drains from one queue per loop iteration. When the
+/// arrival rate exceeds the service rate a drain would otherwise never
+/// terminate, and iteration boundaries are where busy-time accounting and
+/// the shedding check run — an overloaded proxy must keep reaching them.
+const SERVICE_BURST: usize = 2 * CMDQ_DEPTH;
 
 const OP_PUT: u32 = 1;
 const OP_GET: u32 = 2;
@@ -132,6 +148,27 @@ impl<T> PolledFifo<T> {
     fn is_empty(&self) -> bool {
         self.lock().is_empty()
     }
+
+    fn len(&self) -> usize {
+        self.lock().len()
+    }
+}
+
+/// Per-node load and overload state, written by the proxy and the
+/// watchdog, read by anyone.
+#[derive(Debug, Default)]
+struct ProxyHealth {
+    /// Nanoseconds the proxy has spent servicing work (not idle-spinning).
+    busy_ns: AtomicU64,
+    /// Bits of the watchdog's last utilisation sample (an `f64`).
+    util_bits: AtomicU64,
+    /// Set while the sampled utilisation sits above [`STABLE_UTILIZATION`];
+    /// cleared once it falls back under [`RECOVERY_UTILIZATION`].
+    saturated: AtomicBool,
+    /// Times the proxy has crossed into saturation.
+    saturation_events: AtomicU64,
+    /// Request packets dropped by overload shedding.
+    shed: AtomicU64,
 }
 
 struct ProcShared {
@@ -197,6 +234,8 @@ struct Shared {
     wires: Vec<Arc<PolledFifo<WireMsg>>>,
     ops_serviced: Vec<Arc<AtomicU64>>, // per node
     panicked: Vec<Arc<AtomicBool>>,    // per node
+    health: Vec<Arc<ProxyHealth>>,     // per node
+    shed_enabled: AtomicBool,
 }
 
 impl Shared {
@@ -246,6 +285,8 @@ impl Drop for PanicSentinel {
 pub struct RtClusterBuilder {
     nodes: usize,
     procs: Vec<(usize, usize)>, // (node, segment bytes)
+    shed: bool,
+    watchdog_interval: Duration,
 }
 
 impl RtClusterBuilder {
@@ -261,7 +302,36 @@ impl RtClusterBuilder {
         RtClusterBuilder {
             nodes,
             procs: Vec::new(),
+            shed: false,
+            watchdog_interval: Duration::from_millis(1),
         }
+    }
+
+    /// Enables overload shedding: while a proxy is saturated, its wire
+    /// backlog is capped at [`SHED_BACKLOG`] by dropping the oldest
+    /// *request* packets (puts, gets, enqueues). Responses and
+    /// acknowledgements are never shed — they resolve waits that are
+    /// already charged to a client. A shed request simply never happens;
+    /// its submitter observes that through a bounded wait
+    /// ([`Endpoint::wait_flag_timeout`]), exactly as if the wire had
+    /// dropped it. Off by default: an unsaturated cluster behaves
+    /// identically either way.
+    pub fn enable_shedding(&mut self) -> &mut Self {
+        self.shed = true;
+        self
+    }
+
+    /// Sets the watchdog's sampling period (default 1 ms). Shorter
+    /// periods make saturation detection snappier at the cost of one
+    /// extra wake-up per period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn watchdog_interval(&mut self, interval: Duration) -> &mut Self {
+        assert!(!interval.is_zero(), "watchdog interval must be positive");
+        self.watchdog_interval = interval;
+        self
     }
 
     /// Adds a user process on `node` with a segment of `mem_bytes`.
@@ -314,6 +384,10 @@ impl RtClusterBuilder {
             panicked: (0..self.nodes)
                 .map(|_| Arc::new(AtomicBool::new(false)))
                 .collect(),
+            health: (0..self.nodes)
+                .map(|_| Arc::new(ProxyHealth::default()))
+                .collect(),
+            shed_enabled: AtomicBool::new(self.shed),
         });
 
         // Per-process command queues, grouped by node, plus the §4.1
@@ -353,7 +427,23 @@ impl RtClusterBuilder {
             })
             .collect();
 
-        (RtCluster { shared, joins }, endpoints)
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let interval = self.watchdog_interval;
+            std::thread::Builder::new()
+                .name("mproxy-watchdog".into())
+                .spawn(move || watchdog_main(&shared, interval))
+                .expect("spawn watchdog thread")
+        };
+
+        (
+            RtCluster {
+                shared,
+                joins,
+                watchdog: Some(watchdog),
+            },
+            endpoints,
+        )
     }
 }
 
@@ -361,6 +451,7 @@ impl RtClusterBuilder {
 pub struct RtCluster {
     shared: Arc<Shared>,
     joins: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl RtCluster {
@@ -393,6 +484,38 @@ impl RtCluster {
         self.shared.ops_serviced[node].load(Ordering::Relaxed)
     }
 
+    /// The watchdog's last utilisation sample for node `node`'s proxy:
+    /// fraction of the sampling period spent servicing work rather than
+    /// idle-polling, in `[0, 1]`. Zero until the first sample lands.
+    #[must_use]
+    pub fn utilization(&self, node: usize) -> f64 {
+        f64::from_bits(self.shared.health[node].util_bits.load(Ordering::Relaxed))
+    }
+
+    /// True while node `node`'s proxy sits above the paper's stable
+    /// utilisation bound (§5.4: past 50% the M/M/1 queueing delay grows
+    /// without bound). Clears once utilisation falls back under
+    /// [`RECOVERY_UTILIZATION`].
+    #[must_use]
+    pub fn saturated(&self, node: usize) -> bool {
+        self.shared.health[node].saturated.load(Ordering::Acquire)
+    }
+
+    /// Number of times node `node`'s proxy has crossed into saturation.
+    #[must_use]
+    pub fn saturation_events(&self, node: usize) -> u64 {
+        self.shared.health[node]
+            .saturation_events
+            .load(Ordering::Relaxed)
+    }
+
+    /// Request packets dropped on node `node` by overload shedding
+    /// ([`RtClusterBuilder::enable_shedding`]).
+    #[must_use]
+    pub fn shed_count(&self, node: usize) -> u64 {
+        self.shared.health[node].shed.load(Ordering::Relaxed)
+    }
+
     /// Nodes whose proxy thread has already died (live query; a node
     /// appears here as soon as its proxy finishes unwinding).
     #[must_use]
@@ -421,6 +544,9 @@ impl RtCluster {
             if j.join().is_err() {
                 report.panicked_nodes.push(node);
             }
+        }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
         }
         report
     }
@@ -683,8 +809,10 @@ fn proxy_main(
     let mut ccbs: HashMap<u64, Ccb> = HashMap::new();
     let mut next_token: u64 = 0;
     let mut idle_spins = 0u32;
+    let health = Arc::clone(&shared.health[node]);
     loop {
         let mut progressed = false;
+        let service_start = Instant::now();
         // User command queues: consult the ready-bit vector, then drain.
         let mask = ready.swap(0, Ordering::Acquire);
         if mask != 0 {
@@ -692,20 +820,48 @@ fn proxy_main(
                 if mask & (1 << qi) == 0 {
                     continue;
                 }
-                while let Some(e) = q.try_recv() {
+                let mut burst = 0;
+                while burst < SERVICE_BURST {
+                    let Some(e) = q.try_recv() else { break };
                     handle_command(node, *src, e, shared, &mut ccbs, &mut next_token);
                     shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
                     progressed = true;
+                    burst += 1;
+                }
+                if burst == SERVICE_BURST {
+                    // Entries may remain but the ready bit was already
+                    // swapped out; re-arm it so the next scan comes back.
+                    ready.fetch_or(1 << qi, Ordering::Release);
                 }
             }
         }
-        // Network input FIFO.
-        while let Some(msg) = wire_rx.pop() {
+        // Overload control: a saturated proxy sheds its oldest request
+        // packets (never responses or acks) before servicing the rest.
+        if shared.shed_enabled.load(Ordering::Relaxed) && health.saturated.load(Ordering::Acquire) {
+            let dropped = shed_excess(wire_rx, SHED_BACKLOG);
+            if dropped > 0 {
+                health.shed.fetch_add(dropped, Ordering::Relaxed);
+            }
+        }
+        // Network input FIFO (burst-bounded like the command queues: a
+        // flooded FIFO refills faster than it drains, and this loop must
+        // not become the whole iteration).
+        let mut burst = 0;
+        while burst < SERVICE_BURST {
+            let Some(msg) = wire_rx.pop() else { break };
             handle_packet(node, msg, shared, &mut ccbs);
             shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
             progressed = true;
+            burst += 1;
         }
         if progressed {
+            // Busy time feeds the watchdog's utilisation samples; idle
+            // polling scans are charged to nobody, exactly like the
+            // simulator's per-node busy counter.
+            health.busy_ns.fetch_add(
+                u64::try_from(service_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
             idle_spins = 0;
             continue;
         }
@@ -724,6 +880,83 @@ fn proxy_main(
             std::thread::yield_now();
         } else {
             std::hint::spin_loop();
+        }
+    }
+}
+
+/// Drops the oldest *request* packets from `fifo` until at most `cap`
+/// remain, returning how many were shed. Responses ([`WireMsg::GetReply`])
+/// and acknowledgements ([`WireMsg::Ack`]) are exempt: each one resolves a
+/// CCB or a client wait that has already been paid for, and dropping it
+/// would strand the waiter rather than shed load.
+fn shed_excess(fifo: &PolledFifo<WireMsg>, cap: usize) -> u64 {
+    let mut q = fifo.lock();
+    let mut to_shed = q.len().saturating_sub(cap);
+    if to_shed == 0 {
+        return 0;
+    }
+    let mut shed = 0u64;
+    let mut kept = VecDeque::with_capacity(q.len());
+    for m in q.drain(..) {
+        let request = !matches!(m, WireMsg::Ack { .. } | WireMsg::GetReply { .. });
+        if request && to_shed > 0 {
+            to_shed -= 1;
+            shed += 1;
+        } else {
+            kept.push_back(m);
+        }
+    }
+    *q = kept;
+    shed
+}
+
+/// The overload watchdog: every `interval` it turns each proxy's busy-time
+/// delta into a utilisation sample and applies the paper's §5.4 stability
+/// rule — a proxy above [`STABLE_UTILIZATION`] has unbounded expected
+/// queueing delay, so it is flagged saturated (with a one-time warning per
+/// node) until the load falls back under [`RECOVERY_UTILIZATION`].
+fn watchdog_main(shared: &Shared, interval: Duration) {
+    let nodes = shared.health.len();
+    let mut prev_busy = vec![0u64; nodes];
+    let mut warned = vec![false; nodes];
+    let mut prev_t = Instant::now();
+    while !shared.stop.load(Ordering::Relaxed) {
+        std::thread::sleep(interval);
+        let now = Instant::now();
+        let wall_ns = now.duration_since(prev_t).as_nanos();
+        if wall_ns == 0 {
+            continue;
+        }
+        prev_t = now;
+        for (node, h) in shared.health.iter().enumerate() {
+            let busy = h.busy_ns.load(Ordering::Relaxed);
+            let delta = busy.saturating_sub(prev_busy[node]);
+            prev_busy[node] = busy;
+            let util = (u128::from(delta) as f64 / wall_ns as f64).min(1.0);
+            h.util_bits.store(util.to_bits(), Ordering::Relaxed);
+            // Two overload signals. Utilisation is the paper's §5.4 rule,
+            // but it is a time-domain measure: on an oversubscribed host
+            // the proxy thread may be descheduled and sample low even as
+            // its input queue grows without bound. Backlog is the
+            // space-domain symptom of the same instability and is immune
+            // to scheduler noise, so either one trips the flag.
+            let backlog = shared.wires[node].len();
+            let was = h.saturated.load(Ordering::Acquire);
+            if !was && (util > STABLE_UTILIZATION || backlog > SHED_BACKLOG) {
+                h.saturation_events.fetch_add(1, Ordering::Relaxed);
+                h.saturated.store(true, Ordering::Release);
+                if !warned[node] {
+                    warned[node] = true;
+                    eprintln!(
+                        "mproxy-rt: node {node} proxy overloaded ({:.0}% utilisation, \
+                         {backlog} queued) — past the 50% stability bound, queueing \
+                         delay is now unbounded",
+                        util * 100.0
+                    );
+                }
+            } else if was && util < RECOVERY_UTILIZATION && backlog < SHED_BACKLOG / 2 {
+                h.saturated.store(false, Ordering::Release);
+            }
         }
     }
 }

@@ -14,7 +14,12 @@
 //! * protected RMA (`put`/`get`) and remote queues (`enq`) between
 //!   processes, with asid permission checks enforced *in the proxy*;
 //! * an in-process "network" of FIFO channels standing in for the SP
-//!   switch adapter (see DESIGN.md's substitution notes).
+//!   switch adapter (see DESIGN.md's substitution notes);
+//! * an overload **watchdog** sampling each proxy's busy fraction and
+//!   flagging violations of the paper's §5.4 stability rule (a proxy past
+//!   50% utilisation has unbounded expected queueing delay), with
+//!   opt-in request shedding
+//!   ([`RtClusterBuilder::enable_shedding`]).
 //!
 //! # Examples
 //!
@@ -47,7 +52,7 @@ pub mod spsc;
 
 pub use cluster::{
     Endpoint, FlagId, RqId, RtCluster, RtClusterBuilder, RtError, ShutdownReport, CMDQ_DEPTH,
-    NUM_FLAGS, NUM_QUEUES,
+    NUM_FLAGS, NUM_QUEUES, RECOVERY_UTILIZATION, SHED_BACKLOG,
 };
 pub use mem::Segment;
 

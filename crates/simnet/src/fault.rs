@@ -31,6 +31,22 @@ pub struct StallWindow {
     pub end_us: f64,
 }
 
+/// A window of simulated time during which one node's communication agent
+/// is *dead*: it crashed at `at_us`, losing all volatile state (sequence
+/// tables, retransmit buffers, pending command-queue entries), and comes
+/// back — empty-handed — at `restart_us`. Unlike a [`StallWindow`], which
+/// merely delays service, a crash forces the reliable layer into a new
+/// epoch with a resync handshake on restart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashWindow {
+    /// The crashing node.
+    pub node: NodeId,
+    /// Instant of the crash, µs of simulated time.
+    pub at_us: f64,
+    /// Instant the restarted agent resumes service, µs of simulated time.
+    pub restart_us: f64,
+}
+
 /// A seeded description of the faults to inject.
 ///
 /// Built with the fluent methods; all probabilities are per transmitted
@@ -46,9 +62,11 @@ pub struct StallWindow {
 ///     .duplicate(0.005)
 ///     .reorder(0.01, 20.0)
 ///     .corrupt(0.002)
-///     .stall(1, 100.0, 400.0);
+///     .stall(1, 100.0, 400.0)
+///     .crash(0, 600.0, 200.0);
 /// assert_eq!(plan.seed, 42);
 /// assert_eq!(plan.stalls.len(), 1);
+/// assert_eq!(plan.crashes.len(), 1);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -67,6 +85,13 @@ pub struct FaultPlan {
     pub reorder_extra_us: f64,
     /// Node stall windows.
     pub stalls: Vec<StallWindow>,
+    /// Node crash windows.
+    pub crashes: Vec<CrashWindow>,
+}
+
+/// True if `[s1, e1)` and `[s2, e2)` share any instant.
+fn windows_overlap(s1: f64, e1: f64, s2: f64, e2: f64) -> bool {
+    s1 < e2 && s2 < e1
 }
 
 fn check_p(p: f64, what: &str) -> f64 {
@@ -86,6 +111,7 @@ impl FaultPlan {
             corrupt_p: 0.0,
             reorder_extra_us: 20.0,
             stalls: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 
@@ -144,10 +170,23 @@ impl FaultPlan {
     ///
     /// # Panics
     ///
-    /// Panics if the window is empty or inverted.
+    /// Panics if the window is empty or inverted, or if it overlaps an
+    /// existing stall window on the same node — two overlapping windows
+    /// on one node have no coherent meaning (which end does the agent
+    /// resume at?) and used to misbehave silently at simulation time.
     #[must_use]
     pub fn stall(mut self, node: NodeId, start_us: f64, end_us: f64) -> FaultPlan {
         assert!(start_us < end_us, "empty stall window [{start_us}, {end_us})");
+        if let Some(w) = self
+            .stalls
+            .iter()
+            .find(|w| w.node == node && windows_overlap(w.start_us, w.end_us, start_us, end_us))
+        {
+            panic!(
+                "stall window [{start_us}, {end_us}) overlaps [{}, {}) on node {node}",
+                w.start_us, w.end_us
+            );
+        }
         self.stalls.push(StallWindow {
             node,
             start_us,
@@ -156,7 +195,46 @@ impl FaultPlan {
         self
     }
 
-    /// True if the plan injects no packet faults and no stalls.
+    /// Adds a crash window: `node`'s communication agent dies at `at_us`,
+    /// loses all volatile state, and restarts `downtime_us` later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `downtime_us` is not finite and positive, or if the
+    /// window `[at_us, at_us + downtime_us)` overlaps an existing crash
+    /// window on the same node.
+    #[must_use]
+    pub fn crash(mut self, node: NodeId, at_us: f64, downtime_us: f64) -> FaultPlan {
+        assert!(
+            downtime_us.is_finite() && downtime_us > 0.0,
+            "crash downtime must be finite and > 0, got {downtime_us}"
+        );
+        let restart_us = at_us + downtime_us;
+        if let Some(w) = self
+            .crashes
+            .iter()
+            .find(|w| w.node == node && windows_overlap(w.at_us, w.restart_us, at_us, restart_us))
+        {
+            panic!(
+                "crash window [{at_us}, {restart_us}) overlaps [{}, {}) on node {node}",
+                w.at_us, w.restart_us
+            );
+        }
+        self.crashes.push(CrashWindow {
+            node,
+            at_us,
+            restart_us,
+        });
+        self
+    }
+
+    /// Crash windows scheduled for `node`, in the order they were added.
+    pub fn crashes_on(&self, node: NodeId) -> impl Iterator<Item = CrashWindow> + '_ {
+        self.crashes.iter().copied().filter(move |w| w.node == node)
+    }
+
+    /// True if the plan injects no packet faults, no stalls and no
+    /// crashes.
     #[must_use]
     pub fn is_benign(&self) -> bool {
         self.drop_p == 0.0
@@ -164,6 +242,7 @@ impl FaultPlan {
             && self.reorder_p == 0.0
             && self.corrupt_p == 0.0
             && self.stalls.is_empty()
+            && self.crashes.is_empty()
     }
 }
 
@@ -306,16 +385,27 @@ impl FaultState {
         fate
     }
 
-    /// If `node` is inside a stall window at `now_us`, the window's end
-    /// (the latest end over overlapping windows); otherwise `None`.
+    /// If `node` is inside a stall window at `now_us`, the window's end;
+    /// otherwise `None`. Construction rejects overlapping windows, so at
+    /// most one window can contain any instant.
     #[must_use]
     pub fn stall_end(&self, node: NodeId, now_us: f64) -> Option<f64> {
         self.plan
             .stalls
             .iter()
-            .filter(|w| w.node == node && w.start_us <= now_us && now_us < w.end_us)
+            .find(|w| w.node == node && w.start_us <= now_us && now_us < w.end_us)
             .map(|w| w.end_us)
-            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// If `node` is crashed (dead, pre-restart) at `now_us`, the restart
+    /// instant; otherwise `None`.
+    #[must_use]
+    pub fn crash_end(&self, node: NodeId, now_us: f64) -> Option<f64> {
+        self.plan
+            .crashes
+            .iter()
+            .find(|w| w.node == node && w.at_us <= now_us && now_us < w.restart_us)
+            .map(|w| w.restart_us)
     }
 
     /// Snapshot of the injection counters.
@@ -379,20 +469,65 @@ mod tests {
         let f = FaultState::new(
             FaultPlan::new(0)
                 .stall(1, 10.0, 20.0)
-                .stall(1, 15.0, 40.0)
+                .stall(1, 25.0, 40.0)
                 .stall(2, 0.0, 5.0),
         );
         assert_eq!(f.stall_end(1, 5.0), None);
         assert_eq!(f.stall_end(1, 12.0), Some(20.0));
-        assert_eq!(f.stall_end(1, 16.0), Some(40.0)); // overlapping: latest end
+        assert_eq!(f.stall_end(1, 22.0), None); // between windows
+        assert_eq!(f.stall_end(1, 25.0), Some(40.0)); // start is inclusive
         assert_eq!(f.stall_end(1, 40.0), None); // end is exclusive
         assert_eq!(f.stall_end(2, 3.0), Some(5.0));
         assert_eq!(f.stall_end(0, 3.0), None);
     }
 
     #[test]
+    fn crash_windows_queried_by_time_and_node() {
+        let plan = FaultPlan::new(0).crash(1, 100.0, 50.0).crash(1, 400.0, 25.0);
+        assert!(!plan.is_benign());
+        assert_eq!(plan.crashes_on(1).count(), 2);
+        assert_eq!(plan.crashes_on(0).count(), 0);
+        let f = FaultState::new(plan);
+        assert_eq!(f.crash_end(1, 99.0), None);
+        assert_eq!(f.crash_end(1, 100.0), Some(150.0)); // crash instant inclusive
+        assert_eq!(f.crash_end(1, 149.0), Some(150.0));
+        assert_eq!(f.crash_end(1, 150.0), None); // restart instant exclusive
+        assert_eq!(f.crash_end(1, 410.0), Some(425.0));
+        assert_eq!(f.crash_end(0, 110.0), None);
+    }
+
+    #[test]
     #[should_panic(expected = "not in [0, 1]")]
     fn probability_validated() {
         let _ = FaultPlan::new(0).drop(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_stalls_on_one_node_rejected() {
+        let _ = FaultPlan::new(0).stall(1, 10.0, 20.0).stall(1, 15.0, 40.0);
+    }
+
+    #[test]
+    fn touching_and_cross_node_stalls_allowed() {
+        // End is exclusive, so back-to-back windows do not overlap; other
+        // nodes are independent.
+        let plan = FaultPlan::new(0)
+            .stall(1, 10.0, 20.0)
+            .stall(1, 20.0, 30.0)
+            .stall(2, 12.0, 18.0);
+        assert_eq!(plan.stalls.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_crashes_on_one_node_rejected() {
+        let _ = FaultPlan::new(0).crash(1, 100.0, 50.0).crash(1, 120.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and > 0")]
+    fn zero_downtime_crash_rejected() {
+        let _ = FaultPlan::new(0).crash(1, 100.0, 0.0);
     }
 }

@@ -43,7 +43,7 @@ mod fault;
 mod network;
 
 pub use dma::{DmaEngine, DmaParams};
-pub use fault::{Fate, FaultCounts, FaultPlan, FaultState, StallWindow};
+pub use fault::{CrashWindow, Fate, FaultCounts, FaultPlan, FaultState, StallWindow};
 pub use network::{Adapter, LinkParams, NetPort, Network, NodeId, Packet};
 
 /// Bytes of network header prepended to every packet (opcode, addresses,

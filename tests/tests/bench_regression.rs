@@ -12,6 +12,7 @@ use mproxy_model::MP1;
 
 const FIG7_EXPECTED: &str = include_str!("../../results/fig7.txt");
 const FAULT_SWEEP_EXPECTED: &str = include_str!("../../results/fault_sweep.txt");
+const CRASH_SWEEP_EXPECTED: &str = include_str!("../../results/crash_sweep.txt");
 
 #[test]
 fn fault_sweep_report_matches_checked_in_results() {
@@ -22,6 +23,29 @@ fn fault_sweep_report_matches_checked_in_results() {
     );
     let second = reports::fault_sweep_report();
     assert!(first == second, "fault sweep not repeatable in-process");
+}
+
+#[test]
+fn crash_sweep_report_matches_checked_in_results() {
+    // The report itself asserts zero-loss recovery, EpochReset fail-stop
+    // and run-to-run determinism; the byte comparison pins epochs,
+    // sequence watermarks and recovery statistics across engine changes.
+    let first = reports::crash_sweep_report();
+    assert!(
+        first == CRASH_SWEEP_EXPECTED,
+        "crash sweep drifted from results/crash_sweep.txt"
+    );
+    let second = reports::crash_sweep_report();
+    assert!(first == second, "crash sweep not repeatable in-process");
+}
+
+#[test]
+fn parallel_crash_sweep_is_byte_identical_to_serial() {
+    let parallel = reports::crash_sweep_report_parallel(2);
+    assert!(
+        parallel == CRASH_SWEEP_EXPECTED,
+        "parallel crash sweep drifted from results/crash_sweep.txt"
+    );
 }
 
 #[test]
