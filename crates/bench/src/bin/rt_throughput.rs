@@ -1,0 +1,196 @@
+//! Runtime data-plane harness: measures the threaded runtime's ping-pong
+//! latency percentiles and all-to-one fan-in throughput on both data
+//! planes (lock-free rings vs the locked baseline) and emits
+//! `BENCH_rt.json` so the runtime's perf trajectory is tracked in-repo.
+//!
+//! ```text
+//! rt_throughput [--quick] [--label STR] [--out PATH] [--baseline-locked] [--check PATH]
+//! ```
+//!
+//! * `--quick`            reduced round/message counts (CI smoke).
+//! * `--label`            free-form description recorded in the JSON.
+//! * `--out`              write the JSON document to PATH (default: stdout).
+//! * `--baseline-locked`  ablation: run only the locked `Mutex<VecDeque>`
+//!   plane ([`RtClusterBuilder::locked_data_plane`]) — no speedup section.
+//! * `--check`            compare measured lock-free fan-in msgs/sec
+//!   against the number recorded in PATH; exit non-zero on a >20%
+//!   regression. Incompatible with `--baseline-locked`.
+//!
+//! A default run measures **both** planes back to back and records the
+//! fan-in speedup (lock-free over locked) — the A/B the rings must win.
+//!
+//! [`RtClusterBuilder::locked_data_plane`]: mproxy_rt::RtClusterBuilder::locked_data_plane
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use mproxy_bench::rt::{self, FanIn, PingPong};
+
+/// Allowed fan-in msgs/sec regression before `--check` fails.
+const CHECK_TOLERANCE: f64 = 0.20;
+/// Fan-in source processes (each on its own node).
+const SOURCES: usize = 3;
+
+struct Args {
+    quick: bool,
+    label: String,
+    out: Option<String>,
+    baseline_locked: bool,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        label: "current".to_string(),
+        out: None,
+        baseline_locked: false,
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--label" => args.label = value("--label")?,
+            "--out" => args.out = Some(value("--out")?),
+            "--baseline-locked" => args.baseline_locked = true,
+            "--check" => args.check = Some(value("--check")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.baseline_locked && args.check.is_some() {
+        return Err("--check gates the lock-free plane; drop --baseline-locked".into());
+    }
+    Ok(args)
+}
+
+/// Extracts the lock-free fan-in msgs/sec from a JSON document produced
+/// by this binary (manual scan; the harnesses avoid a JSON dependency).
+fn extract_lockfree_fanin(doc: &str) -> Option<f64> {
+    let plane = doc.find("\"lockfree\":")?;
+    let fanin = plane + doc[plane..].find("\"fan_in\":")?;
+    let key = "\"msgs_per_sec\":";
+    let k = fanin + doc[fanin..].find(key)? + key.len();
+    let rest = doc[k..].trim_start();
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// One plane, both workloads.
+fn run_plane(name: &str, locked: bool, pp_rounds: u64, fi_msgs: u64) -> (PingPong, FanIn) {
+    eprintln!("rt_throughput: {name} ping-pong ({pp_rounds} rounds) ...");
+    let pp = rt::ping_pong(locked, pp_rounds);
+    eprintln!(
+        "rt_throughput:   p50 {:.1} us, p90 {:.1} us, p99 {:.1} us",
+        pp.p50_us, pp.p90_us, pp.p99_us
+    );
+    eprintln!("rt_throughput: {name} fan-in ({SOURCES} sources x {fi_msgs} msgs) ...");
+    let fi = rt::fan_in(locked, SOURCES, fi_msgs);
+    eprintln!("rt_throughput:   {:.0} msgs/sec", fi.msgs_per_sec);
+    (pp, fi)
+}
+
+fn plane_json(pp: &PingPong, fi: &FanIn) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "      \"ping_pong\": {{");
+    let _ = writeln!(s, "        \"rounds\": {},", pp.rounds);
+    let _ = writeln!(s, "        \"wall_s\": {:.6},", pp.wall_s);
+    let _ = writeln!(s, "        \"p50_us\": {:.2},", pp.p50_us);
+    let _ = writeln!(s, "        \"p90_us\": {:.2},", pp.p90_us);
+    let _ = writeln!(s, "        \"p99_us\": {:.2}", pp.p99_us);
+    let _ = writeln!(s, "      }},");
+    let _ = writeln!(s, "      \"fan_in\": {{");
+    let _ = writeln!(s, "        \"sources\": {},", fi.sources);
+    let _ = writeln!(s, "        \"msgs_per_source\": {},", fi.msgs_per_source);
+    let _ = writeln!(s, "        \"wall_s\": {:.6},", fi.wall_s);
+    let _ = writeln!(s, "        \"msgs_per_sec\": {:.1}", fi.msgs_per_sec);
+    let _ = writeln!(s, "      }}");
+    let _ = write!(s, "    }}");
+    s
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rt_throughput: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (pp_rounds, fi_msgs) = if args.quick {
+        (500, 5_000)
+    } else {
+        (3_000, 30_000)
+    };
+    let mode = if args.quick { "quick" } else { "full" };
+
+    let lockfree = if args.baseline_locked {
+        None
+    } else {
+        Some(run_plane("lock-free", false, pp_rounds, fi_msgs))
+    };
+    let locked = run_plane("locked baseline", true, pp_rounds, fi_msgs);
+
+    let mut doc = String::from("{\n  \"schema\": 1,\n  \"after\": {\n");
+    let _ = writeln!(doc, "    \"label\": \"{}\",", args.label);
+    let _ = writeln!(doc, "    \"mode\": \"{mode}\",");
+    if let Some((pp, fi)) = &lockfree {
+        let _ = writeln!(doc, "    \"lockfree\": {},", plane_json(pp, fi));
+    }
+    let _ = writeln!(doc, "    \"locked\": {},", plane_json(&locked.0, &locked.1));
+    if let Some((pp, fi)) = &lockfree {
+        let speedup_fanin = fi.msgs_per_sec / locked.1.msgs_per_sec;
+        let speedup_p50 = locked.0.p50_us / pp.p50_us;
+        eprintln!(
+            "rt_throughput: fan-in speedup {speedup_fanin:.2}x, p50 speedup {speedup_p50:.2}x \
+             (lock-free over locked)"
+        );
+        let _ = writeln!(doc, "    \"speedup_fanin\": {speedup_fanin:.2},");
+        let _ = writeln!(doc, "    \"speedup_p50\": {speedup_p50:.2}");
+    } else {
+        let _ = writeln!(doc, "    \"plane\": \"locked\"");
+    }
+    doc.push_str("  }\n}\n");
+
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("rt_throughput: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("rt_throughput: wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+
+    if let Some(path) = &args.check {
+        let Some((_, fi)) = &lockfree else {
+            unreachable!("--check with --baseline-locked is rejected at parse time")
+        };
+        let recorded = std::fs::read_to_string(path)
+            .ok()
+            .as_deref()
+            .and_then(extract_lockfree_fanin);
+        let Some(recorded) = recorded else {
+            eprintln!("rt_throughput: no recorded lock-free fan-in msgs/sec in {path}");
+            return ExitCode::FAILURE;
+        };
+        let floor = recorded * (1.0 - CHECK_TOLERANCE);
+        if fi.msgs_per_sec < floor {
+            eprintln!(
+                "rt_throughput: REGRESSION: {:.0} msgs/sec < {floor:.0} \
+                 (recorded {recorded:.0} - {:.0}%)",
+                fi.msgs_per_sec,
+                CHECK_TOLERANCE * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "rt_throughput: check ok: {:.0} msgs/sec vs recorded {recorded:.0} (floor {floor:.0})",
+            fi.msgs_per_sec
+        );
+    }
+    ExitCode::SUCCESS
+}

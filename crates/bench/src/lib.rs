@@ -20,6 +20,7 @@
 
 pub mod overload;
 pub mod reports;
+pub mod rt;
 pub mod sweep;
 
 /// Formats one results row: name then aligned float columns.

@@ -9,6 +9,19 @@
 //! operation is dropped, the runtime analogue of "the system faults a
 //! process".
 //!
+//! The data plane is lock-free end to end (see DESIGN.md "Runtime data
+//! plane"): user→proxy command queues are the paper's full/empty-flag
+//! SPSC rings ([`crate::spsc`]), proxy↔proxy traffic flows through one
+//! bounded MPSC wire ring per node, and remote-queue payloads return to
+//! user processes over bounded SPSC reply rings (both
+//! [`crate::ring::Ring`]). The proxy services everything in *batched
+//! drains* — up to a burst per queue per pass, acknowledgements coalesced
+//! per peer per batch — and idles through the shared spin → yield → park
+//! policy ([`crate::idle`]), woken explicitly by the next enqueue. The
+//! pre-ring `Mutex<VecDeque>` data plane is kept selectable
+//! ([`RtClusterBuilder::locked_data_plane`]) as the A/B baseline for the
+//! `rt_throughput` bench.
+//!
 //! Because the proxy is a shared, trusted agent, a node must survive its
 //! failure without hanging every client: proxy threads carry a panic
 //! sentinel, [`Endpoint::wait_flag_timeout`]/[`Endpoint::get_blocking_timeout`]
@@ -25,7 +38,9 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use mproxy_model::contention::STABLE_UTILIZATION;
 
+use crate::idle::{Backoff, Parker};
 use crate::mem::Segment;
+use crate::ring::Ring;
 use crate::spsc::{self, Entry};
 
 /// Synchronisation flags per process.
@@ -34,6 +49,10 @@ pub const NUM_FLAGS: usize = 64;
 pub const NUM_QUEUES: usize = 8;
 /// Command queue depth per process.
 pub const CMDQ_DEPTH: usize = 128;
+/// Wire ring depth per node (packets queued by peer proxies).
+pub const WIRE_DEPTH: usize = 512;
+/// Reply ring depth per remote queue (payloads queued for a user process).
+pub const RQ_DEPTH: usize = 256;
 
 /// Utilisation below which a saturated proxy is considered recovered.
 /// Sits under [`STABLE_UTILIZATION`] so the flag doesn't flap when load
@@ -49,6 +68,26 @@ pub const SHED_BACKLOG: usize = CMDQ_DEPTH;
 /// terminate, and iteration boundaries are where busy-time accounting and
 /// the shedding check run — an overloaded proxy must keep reaching them.
 const SERVICE_BURST: usize = 2 * CMDQ_DEPTH;
+
+/// Outbound packets a proxy holds privately (its wire rings to peers all
+/// full) before it stops draining command queues; the bounded command
+/// rings then backpressure the user processes, so total occupancy per
+/// node stays bounded by `CMDQ_DEPTH·procs + WIRE_DEPTH + PENDING_CAP`.
+const PENDING_CAP: usize = 2 * WIRE_DEPTH;
+
+/// Longest a parked proxy sleeps before re-probing its queues (a missed
+/// wake is designed out, this is insurance — see [`crate::idle::Parker`]).
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// The locked baseline's fixed idle budget: spin this many times, then
+/// `yield_now` (the pre-adaptive-policy hand-rolled loop, preserved for
+/// the A/B ablation).
+const LEGACY_IDLE_SPINS: u32 = 500;
+
+/// Loop passes a stopping proxy keeps retrying undeliverable outbound
+/// packets (a peer's ring full and its proxy already gone) before
+/// dropping them — in-flight traffic at shutdown is lossy by contract.
+const STOP_FLUSH_TRIES: u32 = 10_000;
 
 const OP_PUT: u32 = 1;
 const OP_GET: u32 = 2;
@@ -88,10 +127,7 @@ impl std::fmt::Display for RtError {
                 flag,
                 target,
                 observed,
-            } => write!(
-                f,
-                "wait on flag {flag} timed out at {observed}/{target}"
-            ),
+            } => write!(f, "wait on flag {flag} timed out at {observed}/{target}"),
             RtError::ProxyDown { node } => {
                 write!(f, "proxy thread for node {node} has died")
             }
@@ -117,8 +153,9 @@ impl ShutdownReport {
     }
 }
 
-/// A multi-producer FIFO with poison recovery — the remote-queue store
-/// and the inter-node wire. A panicked proxy can never wedge it.
+/// A multi-producer FIFO with poison recovery — the locked-baseline
+/// remote-queue store and inter-node wire. A panicked proxy can never
+/// wedge it.
 #[derive(Debug)]
 struct PolledFifo<T> {
     items: Mutex<VecDeque<T>>,
@@ -154,6 +191,96 @@ impl<T> PolledFifo<T> {
     }
 }
 
+/// A node's wire input: peer proxies produce, the node's proxy consumes.
+/// The ring variant is the lock-free data plane; the locked variant is
+/// the pre-ring `Mutex<VecDeque>` baseline kept for A/B measurement.
+#[derive(Debug)]
+enum Wire {
+    Locked(PolledFifo<WireMsg>),
+    // Boxed: a Ring inlines two cache-padded counters (384 bytes), and
+    // adjacent nodes' rings must not share lines anyway.
+    Ring(Box<Ring<WireMsg>>),
+}
+
+impl Wire {
+    fn new(locked: bool) -> Wire {
+        if locked {
+            Wire::Locked(PolledFifo::default())
+        } else {
+            Wire::Ring(Box::new(Ring::new(WIRE_DEPTH)))
+        }
+    }
+
+    /// Enqueues a packet; the locked baseline is unbounded and always
+    /// accepts, the ring hands the packet back when full.
+    fn try_push(&self, m: WireMsg) -> Result<(), WireMsg> {
+        match self {
+            Wire::Locked(f) => {
+                f.push(m);
+                Ok(())
+            }
+            Wire::Ring(r) => r.try_push(m),
+        }
+    }
+
+    fn pop(&self) -> Option<WireMsg> {
+        match self {
+            Wire::Locked(f) => f.pop(),
+            Wire::Ring(r) => r.try_pop(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Wire::Locked(f) => f.is_empty(),
+            Wire::Ring(r) => r.is_empty(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Wire::Locked(f) => f.len(),
+            Wire::Ring(r) => r.len(),
+        }
+    }
+}
+
+/// One remote queue: the local proxy produces, the owning user process
+/// consumes. Ring = lock-free reply ring, Locked = baseline.
+#[derive(Debug)]
+enum RqStore {
+    Locked(PolledFifo<Bytes>),
+    // Boxed for the same reason as [`Wire::Ring`].
+    Ring(Box<Ring<Bytes>>),
+}
+
+impl RqStore {
+    fn new(locked: bool) -> RqStore {
+        if locked {
+            RqStore::Locked(PolledFifo::default())
+        } else {
+            RqStore::Ring(Box::new(Ring::new(RQ_DEPTH)))
+        }
+    }
+
+    fn try_push(&self, data: Bytes) -> Result<(), Bytes> {
+        match self {
+            RqStore::Locked(f) => {
+                f.push(data);
+                Ok(())
+            }
+            RqStore::Ring(r) => r.try_push(data),
+        }
+    }
+
+    fn pop(&self) -> Option<Bytes> {
+        match self {
+            RqStore::Locked(f) => f.pop(),
+            RqStore::Ring(r) => r.try_pop(),
+        }
+    }
+}
+
 /// Per-node load and overload state, written by the proxy and the
 /// watchdog, read by anyone.
 #[derive(Debug, Default)]
@@ -176,11 +303,12 @@ struct ProcShared {
     node: usize,
     seg: Segment,
     flags: Vec<Arc<AtomicU64>>,
-    queues: Vec<Arc<PolledFifo<Bytes>>>,
+    queues: Vec<RqStore>,
     faults: Arc<AtomicU64>,
     timeouts: Arc<AtomicU64>,
 }
 
+#[derive(Debug)]
 enum WireMsg {
     Put {
         dst: u32,
@@ -208,9 +336,26 @@ enum WireMsg {
         rsync: Option<u32>,
         ack: Option<(usize, u64)>,
     },
+    /// A single acknowledgement (the locked baseline's per-message form).
     Ack {
         token: u64,
     },
+    /// Acknowledgements coalesced per peer per drain batch.
+    AckBatch {
+        tokens: Vec<u64>,
+    },
+}
+
+impl WireMsg {
+    /// Requests may be shed under overload; responses and acks may not —
+    /// each one resolves a CCB or a client wait that has already been
+    /// paid for, and dropping it would strand the waiter.
+    fn is_request(&self) -> bool {
+        !matches!(
+            self,
+            WireMsg::Ack { .. } | WireMsg::AckBatch { .. } | WireMsg::GetReply { .. }
+        )
+    }
 }
 
 enum Ccb {
@@ -231,11 +376,14 @@ struct Shared {
     perms: RwLock<HashSet<(u32, u32)>>,
     allow_all: AtomicBool,
     stop: AtomicBool,
-    wires: Vec<Arc<PolledFifo<WireMsg>>>,
+    wires: Vec<Wire>,
+    parkers: Vec<Parker>,              // per node, wakes the proxy thread
     ops_serviced: Vec<Arc<AtomicU64>>, // per node
     panicked: Vec<Arc<AtomicBool>>,    // per node
     health: Vec<Arc<ProxyHealth>>,     // per node
     shed_enabled: AtomicBool,
+    /// True when running the locked `Mutex<VecDeque>` baseline plane.
+    locked_plane: bool,
 }
 
 impl Shared {
@@ -261,9 +409,7 @@ impl Shared {
 
     /// First node whose proxy has died, if any.
     fn panicked_node(&self) -> Option<usize> {
-        self.panicked
-            .iter()
-            .position(|p| p.load(Ordering::Acquire))
+        self.panicked.iter().position(|p| p.load(Ordering::Acquire))
     }
 }
 
@@ -286,6 +432,7 @@ pub struct RtClusterBuilder {
     nodes: usize,
     procs: Vec<(usize, usize)>, // (node, segment bytes)
     shed: bool,
+    locked: bool,
     watchdog_interval: Duration,
 }
 
@@ -303,6 +450,7 @@ impl RtClusterBuilder {
             nodes,
             procs: Vec::new(),
             shed: false,
+            locked: false,
             watchdog_interval: Duration::from_millis(1),
         }
     }
@@ -318,6 +466,19 @@ impl RtClusterBuilder {
     /// identically either way.
     pub fn enable_shedding(&mut self) -> &mut Self {
         self.shed = true;
+        self
+    }
+
+    /// Selects the pre-ring **locked** data plane: `Mutex<VecDeque>`
+    /// wire and reply queues, per-message acknowledgements (no batch
+    /// coalescing), and the legacy fixed idle loop (500 spins, then
+    /// `yield_now`, never parking) instead of the lock-free rings with
+    /// the adaptive idle policy. This is the `--baseline-locked`
+    /// ablation of the `rt_throughput` bench; the protocol and every
+    /// observable behaviour are identical, only the data-plane mechanics
+    /// differ. Off by default.
+    pub fn locked_data_plane(&mut self) -> &mut Self {
+        self.locked = true;
         self
     }
 
@@ -349,9 +510,7 @@ impl RtClusterBuilder {
     /// [`Endpoint`] per declared process (in declaration order).
     #[must_use]
     pub fn start(self) -> (RtCluster, Vec<Endpoint>) {
-        let wires: Vec<Arc<PolledFifo<WireMsg>>> = (0..self.nodes)
-            .map(|_| Arc::new(PolledFifo::default()))
-            .collect();
+        let wires: Vec<Wire> = (0..self.nodes).map(|_| Wire::new(self.locked)).collect();
         let procs: Vec<Arc<ProcShared>> = self
             .procs
             .iter()
@@ -364,9 +523,7 @@ impl RtClusterBuilder {
                     flags: (0..NUM_FLAGS)
                         .map(|_| Arc::new(AtomicU64::new(0)))
                         .collect(),
-                    queues: (0..NUM_QUEUES)
-                        .map(|_| Arc::new(PolledFifo::default()))
-                        .collect(),
+                    queues: (0..NUM_QUEUES).map(|_| RqStore::new(self.locked)).collect(),
                     faults: Arc::new(AtomicU64::new(0)),
                     timeouts: Arc::new(AtomicU64::new(0)),
                 })
@@ -378,6 +535,7 @@ impl RtClusterBuilder {
             allow_all: AtomicBool::new(true),
             stop: AtomicBool::new(false),
             wires,
+            parkers: (0..self.nodes).map(|_| Parker::new()).collect(),
             ops_serviced: (0..self.nodes)
                 .map(|_| Arc::new(AtomicU64::new(0)))
                 .collect(),
@@ -388,6 +546,7 @@ impl RtClusterBuilder {
                 .map(|_| Arc::new(ProxyHealth::default()))
                 .collect(),
             shed_enabled: AtomicBool::new(self.shed),
+            locked_plane: self.locked,
         });
 
         // Per-process command queues, grouped by node, plus the §4.1
@@ -418,11 +577,10 @@ impl RtClusterBuilder {
             .enumerate()
             .map(|(node, queues)| {
                 let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&shared.wires[node]);
                 let mask = Arc::clone(&masks[node]);
                 std::thread::Builder::new()
                     .name(format!("mproxy-{node}"))
-                    .spawn(move || proxy_main(node, queues, &rx, &mask, &shared))
+                    .spawn(move || proxy_main(node, queues, &mask, &shared))
                     .expect("spawn proxy thread")
             })
             .collect();
@@ -539,6 +697,9 @@ impl RtCluster {
 
     fn stop_and_join(&mut self) -> ShutdownReport {
         self.shared.stop.store(true, Ordering::Relaxed);
+        for p in &self.shared.parkers {
+            p.wake();
+        }
         let mut report = ShutdownReport::default();
         for (node, j) in self.joins.drain(..).enumerate() {
             if j.join().is_err() {
@@ -624,17 +785,13 @@ impl Endpoint {
         self.me.flags[f.0 as usize].load(Ordering::Acquire)
     }
 
-    /// Spins until flag `f` reaches `target` (yielding periodically so
-    /// oversubscribed hosts still make progress).
+    /// Waits until flag `f` reaches `target` through the shared adaptive
+    /// backoff (spin, then yield so oversubscribed hosts still make
+    /// progress).
     pub fn wait_flag(&self, f: FlagId, target: u64) {
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new();
         while self.flag(f) < target {
-            spins += 1;
-            if spins > 500 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            backoff.snooze();
         }
     }
 
@@ -653,7 +810,7 @@ impl Endpoint {
         timeout: Duration,
     ) -> Result<(), RtError> {
         let deadline = Instant::now() + timeout;
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new();
         loop {
             let observed = self.flag(f);
             if observed >= target {
@@ -671,12 +828,7 @@ impl Endpoint {
                     observed,
                 });
             }
-            spins += 1;
-            if spins > 500 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            backoff.snooze();
         }
     }
 
@@ -691,8 +843,10 @@ impl Endpoint {
     fn submit(&mut self, e: Entry) {
         self.cmd.send(e);
         // §4.1: flip the shared ready bit so the proxy's idle scan probes
-        // one word instead of every queue head.
+        // one word instead of every queue head — then wake the proxy in
+        // case it parked.
         self.ready.fetch_or(1 << self.qbit, Ordering::Release);
+        self.shared.parkers[self.me.node].wake();
     }
 
     fn pack_sync(lsync: Option<FlagId>, rsync: Option<FlagId>) -> u64 {
@@ -738,8 +892,8 @@ impl Endpoint {
         });
     }
 
-    /// Blocking GET convenience: issues the get on flag 63 and spins for
-    /// completion.
+    /// Blocking GET convenience: issues the get on flag 63 and waits
+    /// (adaptive backoff) for completion.
     pub fn get_blocking(&mut self, laddr: u64, dst: u32, raddr: u64, nbytes: u32) {
         let f = FlagId((NUM_FLAGS - 1) as u32);
         let target = self.flag(f) + 1;
@@ -795,65 +949,453 @@ fn unpack_sync(v: u64) -> (Option<u32>, Option<u32>) {
     ((l != 0).then(|| l - 1), (r != 0).then(|| r - 1))
 }
 
+/// The proxy's private working state: command control blocks, the
+/// outbound overflow stash, and the per-batch ACK coalescing buffers.
+struct ProxyCtx<'a> {
+    node: usize,
+    shared: &'a Shared,
+    ccbs: HashMap<u64, Ccb>,
+    next_token: u64,
+    /// Outbound packets whose destination ring was full, per node.
+    /// Flushed in FIFO order before anything new is pushed, so per-pair
+    /// wire order is preserved.
+    pending_wire: Vec<VecDeque<WireMsg>>,
+    /// Local remote-queue deliveries whose reply ring was full.
+    pending_rq: VecDeque<WireMsg>,
+    /// Ack tokens per origin node, coalesced within one drain batch
+    /// (lock-free plane only; the locked baseline acks per message).
+    ack_batch: Vec<Vec<u64>>,
+    coalesce: bool,
+}
+
+impl<'a> ProxyCtx<'a> {
+    fn new(node: usize, shared: &'a Shared) -> ProxyCtx<'a> {
+        let nodes = shared.wires.len();
+        ProxyCtx {
+            node,
+            shared,
+            ccbs: HashMap::new(),
+            next_token: 0,
+            pending_wire: (0..nodes).map(|_| VecDeque::new()).collect(),
+            pending_rq: VecDeque::new(),
+            ack_batch: (0..nodes).map(|_| Vec::new()).collect(),
+            coalesce: !shared.locked_plane,
+        }
+    }
+
+    /// Outbound packets stashed because their destination rings were full.
+    fn backlogged(&self) -> usize {
+        self.pending_wire.iter().map(VecDeque::len).sum::<usize>() + self.pending_rq.len()
+    }
+
+    fn outbox_empty(&self) -> bool {
+        self.pending_rq.is_empty() && self.pending_wire.iter().all(VecDeque::is_empty)
+    }
+
+    /// Sends a packet towards `dst_node`, stashing it locally if the
+    /// ring is full (or if earlier packets for that node are already
+    /// stashed — FIFO per destination).
+    fn send_wire(&mut self, dst_node: usize, msg: WireMsg) {
+        if !self.pending_wire[dst_node].is_empty() {
+            self.pending_wire[dst_node].push_back(msg);
+            return;
+        }
+        match self.shared.wires[dst_node].try_push(msg) {
+            Ok(()) => self.shared.parkers[dst_node].wake(),
+            Err(back) => self.pending_wire[dst_node].push_back(back),
+        }
+    }
+
+    /// Retries stashed outbound packets; true if any were delivered.
+    fn flush_pending(&mut self) -> bool {
+        let mut progressed = false;
+        for (dst, q) in self.pending_wire.iter_mut().enumerate() {
+            let mut pushed = false;
+            while let Some(m) = q.pop_front() {
+                match self.shared.wires[dst].try_push(m) {
+                    Ok(()) => pushed = true,
+                    Err(back) => {
+                        q.push_front(back);
+                        break;
+                    }
+                }
+            }
+            if pushed {
+                self.shared.parkers[dst].wake();
+                progressed = true;
+            }
+        }
+        while let Some(m) = self.pending_rq.pop_front() {
+            let WireMsg::Enq {
+                dst,
+                rq,
+                data,
+                rsync,
+                ack,
+            } = m
+            else {
+                unreachable!("pending_rq holds only Enq packets")
+            };
+            match self.shared.procs[dst as usize].queues[rq as usize].try_push(data) {
+                Ok(()) => {
+                    self.finish_enq(dst, rsync, ack);
+                    progressed = true;
+                }
+                Err(data) => {
+                    self.pending_rq.push_front(WireMsg::Enq {
+                        dst,
+                        rq,
+                        data,
+                        rsync,
+                        ack,
+                    });
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Delivery side effects of a completed ENQ: bump the receiver's
+    /// flag, acknowledge the sender.
+    fn finish_enq(&mut self, dst: u32, rsync: Option<u32>, ack: Option<(usize, u64)>) {
+        if let Some(f) = rsync {
+            self.shared.set_flag(dst, f);
+        }
+        if let Some((origin, token)) = ack {
+            self.emit_ack(origin, token);
+        }
+    }
+
+    /// Queues an acknowledgement: coalesced per peer per batch on the
+    /// ring plane, one packet per message on the locked baseline.
+    fn emit_ack(&mut self, origin: usize, token: u64) {
+        if self.coalesce {
+            self.ack_batch[origin].push(token);
+        } else {
+            self.send_wire(origin, WireMsg::Ack { token });
+        }
+    }
+
+    /// Flushes the coalesced acknowledgements accumulated this batch:
+    /// one `AckBatch` packet per peer that completed any sends.
+    fn flush_acks(&mut self) {
+        for origin in 0..self.ack_batch.len() {
+            if self.ack_batch[origin].is_empty() {
+                continue;
+            }
+            let tokens = std::mem::take(&mut self.ack_batch[origin]);
+            self.send_wire(origin, WireMsg::AckBatch { tokens });
+        }
+    }
+
+    fn resolve_ack(&mut self, token: u64) {
+        if let Some(Ccb::PutAck {
+            proc,
+            lsync: Some(f),
+        }) = self.ccbs.remove(&token)
+        {
+            self.shared.set_flag(proc, f);
+        }
+    }
+
+    fn handle_command(&mut self, src: u32, e: Entry) {
+        let shared = self.shared;
+        let laddr = e.args[0];
+        let dst = (e.args[2] >> 32) as u32;
+        let nbytes = e.args[2] as u32;
+        let (lsync, rsync) = unpack_sync(e.args[3]);
+        if dst as usize >= shared.procs.len() || !shared.allowed(src, dst) {
+            shared.fault(src);
+            return;
+        }
+        let src_proc = &shared.procs[src as usize];
+        match e.op {
+            OP_PUT => {
+                if !src_proc.seg.check(laddr, nbytes as usize) {
+                    shared.fault(src);
+                    return;
+                }
+                let data = src_proc.seg.read(laddr, nbytes as usize);
+                let raddr = e.args[1];
+                let ack = lsync.map(|l| {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.ccbs.insert(
+                        token,
+                        Ccb::PutAck {
+                            proc: src,
+                            lsync: Some(l),
+                        },
+                    );
+                    (self.node, token)
+                });
+                let dst_node = shared.procs[dst as usize].node;
+                self.send_wire(
+                    dst_node,
+                    WireMsg::Put {
+                        dst,
+                        raddr,
+                        data,
+                        rsync,
+                        ack,
+                    },
+                );
+            }
+            OP_GET => {
+                if !src_proc.seg.check(laddr, nbytes as usize) {
+                    shared.fault(src);
+                    return;
+                }
+                let token = self.next_token;
+                self.next_token += 1;
+                self.ccbs.insert(
+                    token,
+                    Ccb::Get {
+                        proc: src,
+                        laddr,
+                        nbytes,
+                        lsync,
+                    },
+                );
+                let dst_node = shared.procs[dst as usize].node;
+                self.send_wire(
+                    dst_node,
+                    WireMsg::GetReq {
+                        src_asid: src,
+                        dst,
+                        raddr: e.args[1],
+                        nbytes,
+                        origin: self.node,
+                        token,
+                    },
+                );
+            }
+            OP_ENQ => {
+                if !src_proc.seg.check(laddr, nbytes as usize) {
+                    shared.fault(src);
+                    return;
+                }
+                let data = src_proc.seg.read(laddr, nbytes as usize);
+                let rq = e.args[1] as u32;
+                if rq as usize >= NUM_QUEUES {
+                    shared.fault(src);
+                    return;
+                }
+                let ack = lsync.map(|l| {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.ccbs.insert(
+                        token,
+                        Ccb::PutAck {
+                            proc: src,
+                            lsync: Some(l),
+                        },
+                    );
+                    (self.node, token)
+                });
+                let dst_node = shared.procs[dst as usize].node;
+                self.send_wire(
+                    dst_node,
+                    WireMsg::Enq {
+                        dst,
+                        rq,
+                        data,
+                        rsync,
+                        ack,
+                    },
+                );
+            }
+            _ => shared.fault(src),
+        }
+    }
+
+    fn handle_packet(&mut self, msg: WireMsg) {
+        let shared = self.shared;
+        match msg {
+            WireMsg::Put {
+                dst,
+                raddr,
+                data,
+                rsync,
+                ack,
+            } => {
+                let dp = &shared.procs[dst as usize];
+                if dp.seg.check(raddr, data.len()) {
+                    dp.seg.write(raddr, &data);
+                    if let Some(f) = rsync {
+                        shared.set_flag(dst, f);
+                    }
+                }
+                if let Some((origin, token)) = ack {
+                    self.emit_ack(origin, token);
+                }
+            }
+            WireMsg::GetReq {
+                src_asid,
+                dst,
+                raddr,
+                nbytes,
+                origin,
+                token,
+            } => {
+                let dp = &shared.procs[dst as usize];
+                let data = if dp.seg.check(raddr, nbytes as usize) {
+                    Some(dp.seg.read(raddr, nbytes as usize))
+                } else {
+                    shared.fault(src_asid);
+                    None
+                };
+                self.send_wire(origin, WireMsg::GetReply { token, data });
+            }
+            WireMsg::GetReply { token, data } => {
+                if let Some(Ccb::Get {
+                    proc,
+                    laddr,
+                    nbytes,
+                    lsync,
+                }) = self.ccbs.remove(&token)
+                {
+                    if let Some(data) = data {
+                        let take = (nbytes as usize).min(data.len());
+                        shared.procs[proc as usize].seg.write(laddr, &data[..take]);
+                    }
+                    if let Some(f) = lsync {
+                        shared.set_flag(proc, f);
+                    }
+                }
+            }
+            WireMsg::Enq {
+                dst,
+                rq,
+                data,
+                rsync,
+                ack,
+            } => {
+                // FIFO per queue: anything already stashed goes first.
+                if !self.pending_rq.is_empty() {
+                    self.pending_rq.push_back(WireMsg::Enq {
+                        dst,
+                        rq,
+                        data,
+                        rsync,
+                        ack,
+                    });
+                    return;
+                }
+                match shared.procs[dst as usize].queues[rq as usize].try_push(data) {
+                    Ok(()) => self.finish_enq(dst, rsync, ack),
+                    Err(data) => self.pending_rq.push_back(WireMsg::Enq {
+                        dst,
+                        rq,
+                        data,
+                        rsync,
+                        ack,
+                    }),
+                }
+            }
+            WireMsg::Ack { token } => self.resolve_ack(token),
+            WireMsg::AckBatch { tokens } => {
+                for token in tokens {
+                    self.resolve_ack(token);
+                }
+            }
+        }
+    }
+}
+
 /// The proxy thread: the Figure 5 loop over real queues and wires.
 fn proxy_main(
     node: usize,
     mut queues: Vec<(u32, spsc::Consumer)>,
-    wire_rx: &PolledFifo<WireMsg>,
     ready: &AtomicU64,
     shared: &Shared,
 ) {
     let _sentinel = PanicSentinel {
         flag: Arc::clone(&shared.panicked[node]),
     };
-    let mut ccbs: HashMap<u64, Ccb> = HashMap::new();
-    let mut next_token: u64 = 0;
-    let mut idle_spins = 0u32;
+    let parker = &shared.parkers[node];
+    parker.register();
+    let wire_rx = &shared.wires[node];
     let health = Arc::clone(&shared.health[node]);
+    let mut ctx = ProxyCtx::new(node, shared);
+    let mut batch: Vec<Entry> = Vec::with_capacity(SERVICE_BURST);
+    let mut backoff = Backoff::new();
+    let mut legacy_idle_spins = 0u32;
+    let mut stop_flush_tries = 0u32;
     loop {
         let mut progressed = false;
         let service_start = Instant::now();
-        // User command queues: consult the ready-bit vector, then drain.
-        let mask = ready.swap(0, Ordering::Acquire);
-        if mask != 0 {
-            for (qi, (src, q)) in queues.iter_mut().enumerate() {
-                if mask & (1 << qi) == 0 {
-                    continue;
-                }
-                let mut burst = 0;
-                while burst < SERVICE_BURST {
-                    let Some(e) = q.try_recv() else { break };
-                    handle_command(node, *src, e, shared, &mut ccbs, &mut next_token);
-                    shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
-                    progressed = true;
-                    burst += 1;
-                }
-                if burst == SERVICE_BURST {
-                    // Entries may remain but the ready bit was already
-                    // swapped out; re-arm it so the next scan comes back.
-                    ready.fetch_or(1 << qi, Ordering::Release);
+        // Stashed outbound packets go first: per-destination FIFO.
+        progressed |= ctx.flush_pending();
+        // User command queues: consult the ready-bit vector, then drain a
+        // burst per queue. While the outbound stash is deep the drain
+        // pauses (bits stay set), so the bounded command rings
+        // backpressure users and per-node occupancy stays bounded.
+        if ctx.backlogged() < PENDING_CAP {
+            let mask = ready.swap(0, Ordering::Acquire);
+            if mask != 0 {
+                for (qi, (src, q)) in queues.iter_mut().enumerate() {
+                    if mask & (1 << qi) == 0 {
+                        continue;
+                    }
+                    let taken = q.pop_burst(&mut batch, SERVICE_BURST);
+                    let src = *src;
+                    for e in batch.drain(..) {
+                        ctx.handle_command(src, e);
+                    }
+                    if taken > 0 {
+                        shared.ops_serviced[node].fetch_add(taken as u64, Ordering::Relaxed);
+                        progressed = true;
+                    }
+                    if q.is_ready() {
+                        // Entries remain past the burst; re-arm the bit so
+                        // the next scan comes back.
+                        ready.fetch_or(1 << qi, Ordering::Release);
+                    }
                 }
             }
         }
         // Overload control: a saturated proxy sheds its oldest request
         // packets (never responses or acks) before servicing the rest.
         if shared.shed_enabled.load(Ordering::Relaxed) && health.saturated.load(Ordering::Acquire) {
-            let dropped = shed_excess(wire_rx, SHED_BACKLOG);
+            let dropped = match wire_rx {
+                Wire::Locked(fifo) => shed_excess(fifo, SHED_BACKLOG),
+                Wire::Ring(ring) => {
+                    // Pop-time shedding: drain the overflow, dropping
+                    // requests and servicing the exempt packets.
+                    let mut dropped = 0u64;
+                    while ring.len() > SHED_BACKLOG {
+                        let Some(msg) = ring.try_pop() else { break };
+                        if msg.is_request() {
+                            dropped += 1;
+                        } else {
+                            ctx.handle_packet(msg);
+                            shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
+                            progressed = true;
+                        }
+                    }
+                    dropped
+                }
+            };
             if dropped > 0 {
                 health.shed.fetch_add(dropped, Ordering::Relaxed);
+                progressed = true;
             }
         }
-        // Network input FIFO (burst-bounded like the command queues: a
-        // flooded FIFO refills faster than it drains, and this loop must
-        // not become the whole iteration).
+        // Network input (burst-bounded like the command queues: a flooded
+        // wire refills faster than it drains, and this loop must not
+        // become the whole iteration).
         let mut burst = 0;
         while burst < SERVICE_BURST {
             let Some(msg) = wire_rx.pop() else { break };
-            handle_packet(node, msg, shared, &mut ccbs);
+            ctx.handle_packet(msg);
             shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
             progressed = true;
             burst += 1;
         }
+        // One coalesced ACK packet per peer per batch.
+        ctx.flush_acks();
         if progressed {
             // Busy time feeds the watchdog's utilisation samples; idle
             // polling scans are charged to nobody, exactly like the
@@ -862,33 +1404,67 @@ fn proxy_main(
                 u64::try_from(service_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
                 Ordering::Relaxed,
             );
-            idle_spins = 0;
+            backoff.reset();
+            legacy_idle_spins = 0;
+            stop_flush_tries = 0;
             continue;
         }
         if shared.stop.load(Ordering::Relaxed) {
             // Final drain pass (ready bits may have raced with stop).
             let drained = queues.iter_mut().all(|(_, q)| !q.is_ready());
             if drained && wire_rx.is_empty() {
-                break;
+                if ctx.outbox_empty() {
+                    break;
+                }
+                // A peer's ring is full and may never drain (its proxy
+                // may already be gone); bounded retries, then the
+                // undeliverable in-flight packets are dropped.
+                stop_flush_tries += 1;
+                if stop_flush_tries > STOP_FLUSH_TRIES {
+                    break;
+                }
             }
             // Re-arm all bits so the next pass scans everything.
             ready.fetch_or(u64::MAX, Ordering::Release);
+            std::thread::yield_now();
             continue;
         }
-        idle_spins += 1;
-        if idle_spins > 200 {
-            std::thread::yield_now();
+        if shared.locked_plane {
+            // The baseline's idle loop, kept verbatim for the A/B: a
+            // fixed spin budget, then yield forever — never parks, so an
+            // idle proxy keeps taxing the host scheduler.
+            if legacy_idle_spins < LEGACY_IDLE_SPINS {
+                legacy_idle_spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            continue;
+        }
+        // Idle: escalate spin → yield → park. Parking is gated on an
+        // empty outbound stash (stashed packets wait on a peer's ring,
+        // which sends no wake when space frees up).
+        if backoff.is_parkable() && ctx.outbox_empty() {
+            parker.prepare_park();
+            if ready.load(Ordering::SeqCst) != 0
+                || !wire_rx.is_empty()
+                || shared.stop.load(Ordering::Relaxed)
+            {
+                parker.cancel();
+            } else {
+                parker.park(PARK_TIMEOUT);
+            }
+            backoff.reset();
         } else {
-            std::hint::spin_loop();
+            backoff.snooze();
         }
     }
 }
 
 /// Drops the oldest *request* packets from `fifo` until at most `cap`
-/// remain, returning how many were shed. Responses ([`WireMsg::GetReply`])
-/// and acknowledgements ([`WireMsg::Ack`]) are exempt: each one resolves a
-/// CCB or a client wait that has already been paid for, and dropping it
-/// would strand the waiter rather than shed load.
+/// remain, returning how many were shed (the locked baseline's shed
+/// path). Works in place — retained packets are never reallocated or
+/// copied into a fresh queue.
 fn shed_excess(fifo: &PolledFifo<WireMsg>, cap: usize) -> u64 {
     let mut q = fifo.lock();
     let mut to_shed = q.len().saturating_sub(cap);
@@ -896,17 +1472,15 @@ fn shed_excess(fifo: &PolledFifo<WireMsg>, cap: usize) -> u64 {
         return 0;
     }
     let mut shed = 0u64;
-    let mut kept = VecDeque::with_capacity(q.len());
-    for m in q.drain(..) {
-        let request = !matches!(m, WireMsg::Ack { .. } | WireMsg::GetReply { .. });
-        if request && to_shed > 0 {
+    q.retain(|m| {
+        if to_shed > 0 && m.is_request() {
             to_shed -= 1;
             shed += 1;
+            false
         } else {
-            kept.push_back(m);
+            true
         }
-    }
-    *q = kept;
+    });
     shed
 }
 
@@ -945,6 +1519,9 @@ fn watchdog_main(shared: &Shared, interval: Duration) {
             if !was && (util > STABLE_UTILIZATION || backlog > SHED_BACKLOG) {
                 h.saturation_events.fetch_add(1, Ordering::Relaxed);
                 h.saturated.store(true, Ordering::Release);
+                // A shedding proxy may be parked with its wire already
+                // over the cap; make sure it sees the flag.
+                shared.parkers[node].wake();
                 if !warned[node] {
                     warned[node] = true;
                     eprintln!(
@@ -959,194 +1536,4 @@ fn watchdog_main(shared: &Shared, interval: Duration) {
             }
         }
     }
-}
-
-fn handle_command(
-    node: usize,
-    src: u32,
-    e: Entry,
-    shared: &Shared,
-    ccbs: &mut HashMap<u64, Ccb>,
-    next_token: &mut u64,
-) {
-    let laddr = e.args[0];
-    let dst = (e.args[2] >> 32) as u32;
-    let nbytes = e.args[2] as u32;
-    let (lsync, rsync) = unpack_sync(e.args[3]);
-    if dst as usize >= shared.procs.len() || !shared.allowed(src, dst) {
-        shared.fault(src);
-        return;
-    }
-    let src_proc = &shared.procs[src as usize];
-    match e.op {
-        OP_PUT => {
-            if !src_proc.seg.check(laddr, nbytes as usize) {
-                shared.fault(src);
-                return;
-            }
-            let data = src_proc.seg.read(laddr, nbytes as usize);
-            let raddr = e.args[1];
-            let ack = lsync.map(|l| {
-                let token = *next_token;
-                *next_token += 1;
-                ccbs.insert(
-                    token,
-                    Ccb::PutAck {
-                        proc: src,
-                        lsync: Some(l),
-                    },
-                );
-                (node, token)
-            });
-            let dst_node = shared.procs[dst as usize].node;
-            shared.wires[dst_node].push(WireMsg::Put {
-                dst,
-                raddr,
-                data,
-                rsync,
-                ack,
-            });
-        }
-        OP_GET => {
-            if !src_proc.seg.check(laddr, nbytes as usize) {
-                shared.fault(src);
-                return;
-            }
-            let token = *next_token;
-            *next_token += 1;
-            ccbs.insert(
-                token,
-                Ccb::Get {
-                    proc: src,
-                    laddr,
-                    nbytes,
-                    lsync,
-                },
-            );
-            let dst_node = shared.procs[dst as usize].node;
-            shared.wires[dst_node].push(WireMsg::GetReq {
-                src_asid: src,
-                dst,
-                raddr: e.args[1],
-                nbytes,
-                origin: node,
-                token,
-            });
-        }
-        OP_ENQ => {
-            if !src_proc.seg.check(laddr, nbytes as usize) {
-                shared.fault(src);
-                return;
-            }
-            let data = src_proc.seg.read(laddr, nbytes as usize);
-            let rq = e.args[1] as u32;
-            if rq as usize >= NUM_QUEUES {
-                shared.fault(src);
-                return;
-            }
-            let ack = lsync.map(|l| {
-                let token = *next_token;
-                *next_token += 1;
-                ccbs.insert(
-                    token,
-                    Ccb::PutAck {
-                        proc: src,
-                        lsync: Some(l),
-                    },
-                );
-                (node, token)
-            });
-            let dst_node = shared.procs[dst as usize].node;
-            shared.wires[dst_node].push(WireMsg::Enq {
-                dst,
-                rq,
-                data,
-                rsync,
-                ack,
-            });
-        }
-        _ => shared.fault(src),
-    }
-}
-
-fn handle_packet(node: usize, msg: WireMsg, shared: &Shared, ccbs: &mut HashMap<u64, Ccb>) {
-    match msg {
-        WireMsg::Put {
-            dst,
-            raddr,
-            data,
-            rsync,
-            ack,
-        } => {
-            let dp = &shared.procs[dst as usize];
-            if dp.seg.check(raddr, data.len()) {
-                dp.seg.write(raddr, &data);
-                if let Some(f) = rsync {
-                    shared.set_flag(dst, f);
-                }
-            }
-            if let Some((origin, token)) = ack {
-                shared.wires[origin].push(WireMsg::Ack { token });
-            }
-        }
-        WireMsg::GetReq {
-            src_asid,
-            dst,
-            raddr,
-            nbytes,
-            origin,
-            token,
-        } => {
-            let dp = &shared.procs[dst as usize];
-            let data = if dp.seg.check(raddr, nbytes as usize) {
-                Some(dp.seg.read(raddr, nbytes as usize))
-            } else {
-                shared.fault(src_asid);
-                None
-            };
-            shared.wires[origin].push(WireMsg::GetReply { token, data });
-        }
-        WireMsg::GetReply { token, data } => {
-            if let Some(Ccb::Get {
-                proc,
-                laddr,
-                nbytes,
-                lsync,
-            }) = ccbs.remove(&token)
-            {
-                if let Some(data) = data {
-                    let take = (nbytes as usize).min(data.len());
-                    shared.procs[proc as usize].seg.write(laddr, &data[..take]);
-                }
-                if let Some(f) = lsync {
-                    shared.set_flag(proc, f);
-                }
-            }
-        }
-        WireMsg::Enq {
-            dst,
-            rq,
-            data,
-            rsync,
-            ack,
-        } => {
-            shared.procs[dst as usize].queues[rq as usize].push(data);
-            if let Some(f) = rsync {
-                shared.set_flag(dst, f);
-            }
-            if let Some((origin, token)) = ack {
-                shared.wires[origin].push(WireMsg::Ack { token });
-            }
-        }
-        WireMsg::Ack { token } => {
-            if let Some(Ccb::PutAck {
-                proc,
-                lsync: Some(f),
-            }) = ccbs.remove(&token)
-            {
-                shared.set_flag(proc, f);
-            }
-        }
-    }
-    let _ = node;
 }

@@ -9,7 +9,15 @@
 //!
 //! * [`spsc`] — command queues whose only shared state is a full/empty
 //!   flag per entry;
-//! * a proxy thread per node running the Figure 5 loop, with the §4.1
+//! * [`ring`] — bounded lock-free rings for the rest of the data plane:
+//!   one MPSC wire ring per node (peer proxies → pinned proxy) and SPSC
+//!   reply rings (proxy → user process), with a selectable locked
+//!   baseline ([`RtClusterBuilder::locked_data_plane`]) for A/B
+//!   measurement;
+//! * [`idle`] — the shared adaptive idle policy (spin → yield → park
+//!   with explicit wake on enqueue) every wait in the runtime uses;
+//! * a proxy thread per node running the Figure 5 loop in batched
+//!   drains (ACKs coalesced per peer per batch), with the §4.1
 //!   shared ready-bit vector accelerating the idle scan;
 //! * protected RMA (`put`/`get`) and remote queues (`enq`) between
 //!   processes, with asid permission checks enforced *in the proxy*;
@@ -47,12 +55,14 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod idle;
 mod mem;
+pub mod ring;
 pub mod spsc;
 
 pub use cluster::{
     Endpoint, FlagId, RqId, RtCluster, RtClusterBuilder, RtError, ShutdownReport, CMDQ_DEPTH,
-    NUM_FLAGS, NUM_QUEUES, RECOVERY_UTILIZATION, SHED_BACKLOG,
+    NUM_FLAGS, NUM_QUEUES, RECOVERY_UTILIZATION, RQ_DEPTH, SHED_BACKLOG, WIRE_DEPTH,
 };
 pub use mem::Segment;
 
@@ -110,8 +120,9 @@ mod tests {
         e0.seg().write_u64(0, 7);
         e0.put(0, e1.asid(), 0, 8, None, Some(FlagId(0)));
         // The op is dropped; wait until the fault is visible.
+        let mut backoff = idle::Backoff::new();
         while e0.faults() == 0 {
-            std::hint::spin_loop();
+            backoff.snooze();
         }
         assert_eq!(e1.flag(FlagId(0)), 0, "no data may land");
         // Grant and retry.
@@ -130,8 +141,9 @@ mod tests {
         // Remote store silently dropped (bounds-checked at delivery);
         // meanwhile a local out-of-bounds source faults at the proxy.
         e0.put(u64::MAX, e1.asid(), 0, 8, None, None);
+        let mut backoff = idle::Backoff::new();
         while e0.faults() == 0 {
-            std::hint::spin_loop();
+            backoff.snooze();
         }
         cluster.shutdown();
     }

@@ -1,34 +1,49 @@
 //! Shared-memory segments for the threaded runtime.
 //!
 //! Each user process owns one [`Segment`] — the runtime analogue of an
-//! address space (`asid`). Segments are plain atomic byte arrays, so the
-//! proxy thread can move data without locks; release/acquire ordering on
-//! the synchronisation flags publishes the payload bytes, exactly like a
+//! address space (`asid`). Segments are atomic word arrays, so the proxy
+//! thread can move data without locks; release/acquire ordering on the
+//! synchronisation flags publishes the payload bytes, exactly like a
 //! real shared-memory mailbox protocol.
+//!
+//! Storage is word-granular (`AtomicU64`), not byte-granular: payload
+//! copies are the proxy's per-message service cost, and copying whole
+//! words needs one eighth of the atomic operations. Byte addressing is
+//! preserved at the API — unaligned edges of a transfer are merged into
+//! their word with a compare-and-swap loop so a neighbouring write to
+//! the *other* bytes of the same word is never lost.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 
+const WORD: usize = 8;
+
 /// A byte-addressable shared segment.
 #[derive(Clone)]
 pub struct Segment {
-    bytes: Arc<[AtomicU8]>,
+    words: Arc<[AtomicU64]>,
+    size: usize,
 }
 
 impl Segment {
     /// Allocates a zeroed segment of `size` bytes.
     #[must_use]
     pub fn new(size: usize) -> Segment {
-        let v: Vec<AtomicU8> = (0..size).map(|_| AtomicU8::new(0)).collect();
-        Segment { bytes: v.into() }
+        let v: Vec<AtomicU64> = (0..size.div_ceil(WORD))
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Segment {
+            words: v.into(),
+            size,
+        }
     }
 
     /// Segment size in bytes.
     #[must_use]
     pub fn size(&self) -> usize {
-        self.bytes.len()
+        self.size
     }
 
     /// True if `[addr, addr+n)` lies inside the segment.
@@ -36,36 +51,69 @@ impl Segment {
     pub fn check(&self, addr: u64, n: usize) -> bool {
         (addr as usize)
             .checked_add(n)
-            .is_some_and(|end| end <= self.bytes.len())
+            .is_some_and(|end| end <= self.size)
     }
 
     /// Copies `n` bytes out of the segment into a shared buffer.
     ///
     /// The snapshot is taken once; the returned [`Bytes`] can then travel
     /// through wire queues and be cloned per hop without further copies.
+    /// Words are snapshotted atomically; a transfer spanning several
+    /// words observes each word at a single instant (the flag protocol,
+    /// not the copy, orders whole payloads).
     ///
     /// # Panics
     ///
     /// Panics if out of bounds (callers validate first).
     #[must_use]
     pub fn read(&self, addr: u64, n: usize) -> Bytes {
-        let s = addr as usize;
-        let v: Vec<u8> = self.bytes[s..s + n]
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        assert!(self.check(addr, n), "segment read out of bounds");
+        let mut v = vec![0u8; n];
+        let start = addr as usize;
+        let mut i = 0;
+        while i < n {
+            let byte = start + i;
+            let off = byte % WORD;
+            let take = (WORD - off).min(n - i);
+            let w = self.words[byte / WORD]
+                .load(Ordering::Relaxed)
+                .to_le_bytes();
+            v[i..i + take].copy_from_slice(&w[off..off + take]);
+            i += take;
+        }
         Bytes::from(v)
     }
 
     /// Copies `data` into the segment.
     ///
+    /// Aligned full words are plain atomic stores; partial words at the
+    /// edges merge via a CAS loop so concurrent writes to the other
+    /// bytes of the word survive.
+    ///
     /// # Panics
     ///
     /// Panics if out of bounds (callers validate first).
     pub fn write(&self, addr: u64, data: &[u8]) {
-        let s = addr as usize;
-        for (slot, &b) in self.bytes[s..s + data.len()].iter().zip(data) {
-            slot.store(b, Ordering::Relaxed);
+        assert!(self.check(addr, data.len()), "segment write out of bounds");
+        let start = addr as usize;
+        let n = data.len();
+        let mut i = 0;
+        while i < n {
+            let byte = start + i;
+            let off = byte % WORD;
+            let take = (WORD - off).min(n - i);
+            let slot = &self.words[byte / WORD];
+            if take == WORD {
+                let w = u64::from_le_bytes(data[i..i + WORD].try_into().expect("word"));
+                slot.store(w, Ordering::Relaxed);
+            } else {
+                let _ = slot.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                    let mut w = old.to_le_bytes();
+                    w[off..off + take].copy_from_slice(&data[i..i + take]);
+                    Some(u64::from_le_bytes(w))
+                });
+            }
+            i += take;
         }
     }
 
@@ -130,5 +178,46 @@ mod tests {
         let b = a.clone();
         a.write_u64(0, 7);
         assert_eq!(b.read_u64(0), 7);
+    }
+
+    #[test]
+    fn unaligned_edges_merge_into_words() {
+        let s = Segment::new(32);
+        s.write(0, &[0xAA; 32]);
+        // A 5-byte write at offset 3 spans the first word's tail and the
+        // second word's head; surrounding bytes must survive.
+        s.write(3, &[1, 2, 3, 4, 5]);
+        let got = s.read(0, 32);
+        assert_eq!(&got[..3], &[0xAA; 3]);
+        assert_eq!(&got[3..8], &[1, 2, 3, 4, 5]);
+        assert_eq!(&got[8..], &[0xAA; 24]);
+        // Unaligned read of the same span.
+        assert_eq!(&s.read(3, 5)[..], &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn odd_sized_segment_reaches_last_byte() {
+        let s = Segment::new(13);
+        assert!(s.check(12, 1));
+        assert!(!s.check(12, 2));
+        s.write(10, b"end");
+        assert_eq!(&s.read(10, 3)[..], b"end");
+    }
+
+    #[test]
+    fn concurrent_writers_to_adjacent_bytes_both_land() {
+        let s = Segment::new(16);
+        let s2 = s.clone();
+        // Two threads hammer disjoint halves of the same word.
+        let t = std::thread::spawn(move || {
+            for i in 0..10_000u32 {
+                s2.write(0, &(i as u8).to_le_bytes()[..1]);
+            }
+        });
+        for i in 0..10_000u32 {
+            s.write(4, &i.to_le_bytes());
+        }
+        t.join().unwrap();
+        assert_eq!(s.read(4, 4)[..], 9_999u32.to_le_bytes());
     }
 }

@@ -10,26 +10,8 @@
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-/// Pads and aligns a value to 128 bytes so adjacent queue slots never
-/// share a cache line (two lines to defeat adjacent-line prefetchers) —
-/// a local stand-in for `crossbeam_utils::CachePadded`.
-#[derive(Debug)]
-#[repr(align(128))]
-struct CachePadded<T>(T);
-
-impl<T> CachePadded<T> {
-    fn new(v: T) -> CachePadded<T> {
-        CachePadded(v)
-    }
-}
-
-impl<T> std::ops::Deref for CachePadded<T> {
-    type Target = T;
-
-    fn deref(&self) -> &T {
-        &self.0
-    }
-}
+use crate::idle::Backoff;
+use crate::ring::CachePadded;
 
 /// A fixed command record: opcode plus four operand words — the shape of
 /// a real proxy queue entry (opcode, addresses, size, sync descriptor).
@@ -99,9 +81,7 @@ impl std::fmt::Debug for Slot {
 #[must_use]
 pub fn channel(capacity: usize) -> (Producer, Consumer) {
     assert!(capacity > 0, "queue capacity must be > 0");
-    let slots: Vec<CachePadded<Slot>> = (0..capacity)
-        .map(|_| CachePadded::new(Slot::new()))
-        .collect();
+    let slots: Vec<CachePadded<Slot>> = (0..capacity).map(|_| CachePadded(Slot::new())).collect();
     let ring = std::sync::Arc::new(Ring {
         slots: slots.into_boxed_slice(),
     });
@@ -141,17 +121,13 @@ impl Producer {
         true
     }
 
-    /// Spins until the entry is accepted (bounded command queues provide
-    /// natural backpressure on a runaway producer).
+    /// Waits until the entry is accepted (bounded command queues provide
+    /// natural backpressure on a runaway producer), backing off
+    /// adaptively while the queue stays full.
     pub fn send(&mut self, e: Entry) {
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new();
         while !self.try_send(e) {
-            spins += 1;
-            if spins > 500 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            backoff.snooze();
         }
     }
 
@@ -190,6 +166,19 @@ impl Consumer {
         slot.valid.store(0, Ordering::Release);
         self.tail = (self.tail + 1) % self.ring.slots.len();
         Some(e)
+    }
+
+    /// Drains up to `max` entries into `out` (appending), returning how
+    /// many were taken. One acquire probe per entry plus one when the
+    /// queue runs dry — the batched drain the proxy loop is built on.
+    pub fn pop_burst(&mut self, out: &mut Vec<Entry>, max: usize) -> usize {
+        let mut taken = 0;
+        while taken < max {
+            let Some(e) = self.try_recv() else { break };
+            out.push(e);
+            taken += 1;
+        }
+        taken
     }
 
     /// True if the head slot holds a command (non-destructive probe).
@@ -262,6 +251,31 @@ mod tests {
             }
         }
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn pop_burst_drains_up_to_max() {
+        let (mut tx, mut rx) = channel(8);
+        for i in 0..6 {
+            assert!(tx.try_send(Entry {
+                op: i,
+                args: [0; 4]
+            }));
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_burst(&mut out, 4), 4);
+        assert_eq!(rx.pop_burst(&mut out, 4), 2, "queue runs dry mid-burst");
+        assert_eq!(
+            out.iter().map(|e| e.op).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4, 5]
+        );
+        assert_eq!(rx.pop_burst(&mut out, 4), 0);
+        // Freed slots are reusable immediately.
+        assert!(tx.try_send(Entry {
+            op: 9,
+            args: [0; 4]
+        }));
+        assert_eq!(rx.try_recv().unwrap().op, 9);
     }
 
     #[test]
