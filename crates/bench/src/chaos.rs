@@ -1,0 +1,482 @@
+//! Chaos scenarios for the threaded runtime: drive kills, corruption
+//! and stalls (via [`mproxy_rt::RtFaultPlan`]) under real load and check
+//! the recovery invariants the supervision layer promises:
+//!
+//! 1. **No acked op lost or duplicated** — an operation whose `lsync`
+//!    flag fired was applied at the destination exactly once, kills and
+//!    packet faults notwithstanding. Enqueue workloads verify this
+//!    end-to-end: every payload carries `(sender, index)`, and each
+//!    sender's drained subsequence must be exactly `1..=n`, in order.
+//! 2. **Bounded recovery** — every acknowledgement lands within
+//!    [`WAIT`]; a kill-respawn-resync cycle that exceeds it fails the
+//!    scenario (no wait, no matter how unlucky, may outlive the bound).
+//! 3. **Survivor liveness** — nodes not involved in a fault keep
+//!    completing operations while a peer is stalled or dead.
+//!
+//! Each scenario is seeded and returns a [`ScenarioResult`]; the
+//! `rt_chaos` binary aggregates them into `BENCH_chaos.json` and exits
+//! non-zero on any violation (the CI gate).
+
+use std::time::{Duration, Instant};
+
+use mproxy_rt::{FlagId, RqId, RtClusterBuilder, RtFaultPlan};
+
+/// Per-acknowledgement bound: recovery (respawn + resync + retransmit)
+/// must complete well inside this, even on a loaded single-CPU host.
+pub const WAIT: Duration = Duration::from_millis(2000);
+
+/// Outcome of one chaos scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario family name.
+    pub name: String,
+    /// The seed it ran under.
+    pub seed: u64,
+    /// Whether every invariant held.
+    pub passed: bool,
+    /// Operations acknowledged (lsync fired) during the run.
+    pub acked_ops: u64,
+    /// Proxy deaths observed (injected kills that fired).
+    pub deaths: u64,
+    /// Supervisor respawns performed.
+    pub restarts: u64,
+    /// Longest single acknowledgement wait, milliseconds (the recovery
+    /// bound proxy: a kill-respawn-resync cycle shows up here).
+    pub max_ack_wait_ms: f64,
+    /// Human-readable failure description, empty when `passed`.
+    pub failure: String,
+}
+
+impl ScenarioResult {
+    fn fail(mut self, why: String) -> ScenarioResult {
+        self.passed = false;
+        if self.failure.is_empty() {
+            self.failure = why;
+        }
+        self
+    }
+}
+
+/// Bookkeeping for the ack-wait bound.
+struct AckClock {
+    max_wait: Duration,
+    acked: u64,
+}
+
+impl AckClock {
+    fn new() -> AckClock {
+        AckClock {
+            max_wait: Duration::ZERO,
+            acked: 0,
+        }
+    }
+
+    /// Waits for `flag >= target` on `e`, recording the wait.
+    fn wait(
+        &mut self,
+        e: &mproxy_rt::Endpoint,
+        flag: FlagId,
+        target: u64,
+    ) -> Result<(), mproxy_rt::RtError> {
+        let t0 = Instant::now();
+        let r = e.wait_flag_timeout(flag, target, WAIT);
+        self.max_wait = self.max_wait.max(t0.elapsed());
+        if r.is_ok() {
+            self.acked += 1;
+        }
+        r
+    }
+}
+
+/// Checks that `got` (one sink queue's drained payloads, each tagged
+/// `(sender << 32) | index`) contains exactly `1..=per_sender` per
+/// sender, in order — the "no acked op lost or duplicated" invariant.
+fn check_exactly_once(got: &[u64], senders: &[u32], per_sender: u64) -> Result<(), String> {
+    for &s in senders {
+        let seq: Vec<u64> = got
+            .iter()
+            .filter(|v| (*v >> 32) as u32 == s)
+            .map(|v| *v & 0xffff_ffff)
+            .collect();
+        let want: Vec<u64> = (1..=per_sender).collect();
+        if seq != want {
+            return Err(format!(
+                "sender {s}: expected 1..={per_sender} in order, got {} items \
+                 (first divergence at {:?})",
+                seq.len(),
+                seq.iter().zip(&want).position(|(a, b)| a != b)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Drains `rq` on `sink` until `expect` payloads arrived or the deadline
+/// passes.
+fn drain_u64s(sink: &mproxy_rt::Endpoint, rq: RqId, expect: usize) -> Result<Vec<u64>, String> {
+    let deadline = Instant::now() + WAIT;
+    let mut got = Vec::with_capacity(expect);
+    while got.len() < expect {
+        if let Some(data) = sink.rq_try_recv(rq) {
+            let bytes: [u8; 8] = data[..8]
+                .try_into()
+                .map_err(|_| "short payload".to_string())?;
+            got.push(u64::from_le_bytes(bytes));
+        } else if Instant::now() >= deadline {
+            return Err(format!("drained {} of {expect} before deadline", got.len()));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    // Anything extra is a duplicate delivery.
+    std::thread::sleep(Duration::from_millis(5));
+    if sink.rq_try_recv(rq).is_some() {
+        return Err("extra delivery after full drain (duplicate)".into());
+    }
+    Ok(got)
+}
+
+/// Kill-during-fan-in: `senders` processes enqueue tagged payloads at a
+/// sink whose proxy is killed (and respawned) mid-stream. `victim_sender`
+/// instead kills one of the *sending* nodes.
+fn kill_fan_in(
+    name: &str,
+    seed: u64,
+    senders: usize,
+    per_sender: u64,
+    kill_after: u64,
+    victim_sender: bool,
+) -> ScenarioResult {
+    let mut result = ScenarioResult {
+        name: name.into(),
+        seed,
+        passed: true,
+        acked_ops: 0,
+        deaths: 0,
+        restarts: 0,
+        max_ack_wait_ms: 0.0,
+        failure: String::new(),
+    };
+    let mut b = RtClusterBuilder::new(senders + 1);
+    let sink_asid = b.add_process(0, 1 << 16);
+    let src_asids: Vec<u32> = (1..=senders).map(|n| b.add_process(n, 1 << 16)).collect();
+    let victim = if victim_sender { 1 } else { 0 };
+    b.fault_plan(RtFaultPlan::new(seed).kill(victim, kill_after));
+    b.supervise(3, Duration::from_millis(1));
+    let (cluster, mut eps) = b.start();
+    let src_eps = eps.split_off(1);
+    let sink = eps.pop().expect("sink endpoint");
+
+    let handles: Vec<_> = src_eps
+        .into_iter()
+        .zip(src_asids.iter().copied())
+        .map(|(mut e, asid)| {
+            std::thread::spawn(move || -> Result<AckClock, String> {
+                let mut clock = AckClock::new();
+                for i in 1..=per_sender {
+                    e.seg().write_u64(0, (u64::from(asid) << 32) | i);
+                    e.enq(0, sink_asid, RqId(0), 8, Some(FlagId(0)), None);
+                    clock
+                        .wait(&e, FlagId(0), i)
+                        .map_err(|err| format!("sender {asid} op {i}: {err}"))?;
+                }
+                Ok(clock)
+            })
+        })
+        .collect();
+
+    let mut max_wait = Duration::ZERO;
+    for h in handles {
+        match h.join().expect("sender thread") {
+            Ok(clock) => {
+                result.acked_ops += clock.acked;
+                max_wait = max_wait.max(clock.max_wait);
+            }
+            Err(why) => result = result.fail(why),
+        }
+    }
+    result.max_ack_wait_ms = max_wait.as_secs_f64() * 1e3;
+    if result.passed {
+        match drain_u64s(&sink, RqId(0), senders * per_sender as usize) {
+            Ok(got) => {
+                if let Err(why) = check_exactly_once(&got, &src_asids, per_sender) {
+                    result = result.fail(why);
+                }
+            }
+            Err(why) => result = result.fail(why),
+        }
+    }
+    result.deaths = cluster.deaths(victim);
+    result.restarts = cluster.restarts_total();
+    if result.passed && result.deaths == 0 {
+        result = result.fail(format!("injected kill on node {victim} never fired"));
+    }
+    let report = cluster.shutdown();
+    if result.passed && !report.clean() {
+        result = result.fail(format!("unclean shutdown: {report:?}"));
+    }
+    result
+}
+
+/// Kill the sink's proxy mid-fan-in.
+#[must_use]
+pub fn kill_sink_fan_in(seed: u64, per_sender: u64) -> ScenarioResult {
+    kill_fan_in("kill_sink_fan_in", seed, 2, per_sender, 25, false)
+}
+
+/// Kill one sender's proxy mid-fan-in.
+#[must_use]
+pub fn kill_sender_fan_in(seed: u64, per_sender: u64) -> ScenarioResult {
+    kill_fan_in("kill_sender_fan_in", seed, 2, per_sender, 20, true)
+}
+
+/// Corruption, loss and duplication under windowed PUT load on a clean
+/// two-node pair: the sequenced wire layer must hide all of it.
+#[must_use]
+pub fn corrupt_under_load(seed: u64, msgs: u64) -> ScenarioResult {
+    let mut result = ScenarioResult {
+        name: "corrupt_under_load".into(),
+        seed,
+        passed: true,
+        acked_ops: 0,
+        deaths: 0,
+        restarts: 0,
+        max_ack_wait_ms: 0.0,
+        failure: String::new(),
+    };
+    let mut b = RtClusterBuilder::new(2);
+    let _p0 = b.add_process(0, 1 << 16);
+    let p1 = b.add_process(1, 1 << 16);
+    b.fault_plan(RtFaultPlan::new(seed).drop(0.10).duplicate(0.10).corrupt(0.05));
+    let (cluster, mut eps) = b.start();
+    let e1 = eps.pop().expect("endpoint 1");
+    let mut e0 = eps.pop().expect("endpoint 0");
+
+    let mut clock = AckClock::new();
+    const WINDOW: u64 = 64;
+    for i in 1..=msgs {
+        e0.seg().write_u64(0, i);
+        e0.put(0, p1, 64, 8, Some(FlagId(0)), None);
+        if i > WINDOW {
+            if let Err(err) = clock.wait(&e0, FlagId(0), i - WINDOW) {
+                result = result.fail(format!("op {i}: {err}"));
+                break;
+            }
+        }
+    }
+    if result.passed {
+        if let Err(err) = clock.wait(&e0, FlagId(0), msgs) {
+            result = result.fail(format!("final ack: {err}"));
+        }
+    }
+    result.acked_ops = clock.acked;
+    result.max_ack_wait_ms = clock.max_wait.as_secs_f64() * 1e3;
+    // The monotone counter payload: the cell must hold the *last* write
+    // (in-order delivery means no stale overwrite can land afterwards).
+    if result.passed && e1.seg().read_u64(64) != msgs {
+        result = result.fail(format!(
+            "final cell holds {}, want {msgs}",
+            e1.seg().read_u64(64)
+        ));
+    }
+    let counts = cluster.fault_counts().expect("plan installed");
+    if result.passed && (counts.dropped == 0 || counts.duplicated == 0 || counts.corrupted == 0) {
+        result = result.fail(format!("injector idle under load: {counts:?}"));
+    }
+    let report = cluster.shutdown();
+    if result.passed && !report.clean() {
+        result = result.fail(format!("unclean shutdown: {report:?}"));
+    }
+    result
+}
+
+/// Stall one node's proxy past the watchdog period while two *other*
+/// nodes keep exchanging acknowledged puts: survivors must never block
+/// on a stalled peer, and the stalled node must finish its own backlog
+/// once the stall lifts.
+#[must_use]
+pub fn stall_survivor_liveness(seed: u64, rounds: u64) -> ScenarioResult {
+    let mut result = ScenarioResult {
+        name: "stall_survivor_liveness".into(),
+        seed,
+        passed: true,
+        acked_ops: 0,
+        deaths: 0,
+        restarts: 0,
+        max_ack_wait_ms: 0.0,
+        failure: String::new(),
+    };
+    let mut b = RtClusterBuilder::new(3);
+    let _p0 = b.add_process(0, 1 << 16);
+    let p1 = b.add_process(1, 1 << 16);
+    let p2 = b.add_process(2, 1 << 16);
+    // Node 1 freezes for 150 ms starting almost immediately — dozens of
+    // watchdog periods.
+    b.fault_plan(RtFaultPlan::new(seed).stall(
+        1,
+        Duration::from_millis(5),
+        Duration::from_millis(150),
+    ));
+    let (cluster, mut eps) = b.start();
+    let e2 = eps.pop().expect("endpoint 2");
+    let _e1 = eps.pop().expect("endpoint 1");
+    let mut e0 = eps.pop().expect("endpoint 0");
+
+    std::thread::sleep(Duration::from_millis(20)); // let the stall start
+    let mut clock = AckClock::new();
+    // Survivor path 0→2 stays live during the stall.
+    for i in 1..=rounds {
+        e0.seg().write_u64(0, i);
+        e0.put(0, p2, 64, 8, Some(FlagId(0)), None);
+        if let Err(err) = clock.wait(&e0, FlagId(0), i) {
+            result = result.fail(format!("survivor op {i}: {err}"));
+            break;
+        }
+    }
+    // Traffic *into* the stalled node completes once the stall lifts.
+    if result.passed {
+        e0.seg().write_u64(0, 77);
+        e0.put(0, p1, 64, 8, Some(FlagId(1)), None);
+        if let Err(err) = clock.wait(&e0, FlagId(1), 1) {
+            result = result.fail(format!("post-stall delivery: {err}"));
+        }
+    }
+    result.acked_ops = clock.acked;
+    result.max_ack_wait_ms = clock.max_wait.as_secs_f64() * 1e3;
+    if result.passed && e2.seg().read_u64(64) != rounds {
+        result = result.fail("survivor data incomplete".into());
+    }
+    let counts = cluster.fault_counts().expect("plan installed");
+    if result.passed && counts.stalls == 0 {
+        result = result.fail("stall never fired".into());
+    }
+    let report = cluster.shutdown();
+    if result.passed && !report.clean() {
+        result = result.fail(format!("unclean shutdown: {report:?}"));
+    }
+    result
+}
+
+/// One seeded randomized scenario: 3–5 nodes in a ring, each node
+/// enqueuing tagged payloads at its successor, a low-probability lossy
+/// wire, and a kill at a seed-derived point on a seed-chosen victim,
+/// with supervision on. Exactly-once is checked on every queue.
+#[must_use]
+pub fn randomized(seed: u64, rounds: u64) -> ScenarioResult {
+    let mut result = ScenarioResult {
+        name: "randomized_ring".into(),
+        seed,
+        passed: true,
+        acked_ops: 0,
+        deaths: 0,
+        restarts: 0,
+        max_ack_wait_ms: 0.0,
+        failure: String::new(),
+    };
+    let nodes = 3 + (seed % 3) as usize; // 3..=5
+    let victim = (seed / 3 % nodes as u64) as usize;
+    let kill_after = 10 + (seed.wrapping_mul(7) % 70);
+    let mut b = RtClusterBuilder::new(nodes);
+    let asids: Vec<u32> = (0..nodes).map(|n| b.add_process(n, 1 << 16)).collect();
+    b.fault_plan(
+        RtFaultPlan::new(seed)
+            .drop(0.02)
+            .duplicate(0.02)
+            .corrupt(0.01)
+            .kill(victim, kill_after),
+    );
+    b.supervise(4, Duration::from_millis(1));
+    let (cluster, eps) = b.start();
+
+    let handles: Vec<_> = eps
+        .into_iter()
+        .enumerate()
+        .map(|(n, mut e)| {
+            let dst = asids[(n + 1) % nodes];
+            let me = asids[n];
+            std::thread::spawn(move || -> (mproxy_rt::Endpoint, Result<AckClock, String>) {
+                let mut clock = AckClock::new();
+                for i in 1..=rounds {
+                    e.seg().write_u64(0, (u64::from(me) << 32) | i);
+                    e.enq(0, dst, RqId(0), 8, Some(FlagId(0)), None);
+                    if let Err(err) = clock.wait(&e, FlagId(0), i) {
+                        return (e, Err(format!("node {n} op {i}: {err}")));
+                    }
+                }
+                (e, Ok(clock))
+            })
+        })
+        .collect();
+
+    let mut endpoints = Vec::with_capacity(nodes);
+    let mut max_wait = Duration::ZERO;
+    for h in handles {
+        let (e, r) = h.join().expect("ring thread");
+        match r {
+            Ok(clock) => {
+                result.acked_ops += clock.acked;
+                max_wait = max_wait.max(clock.max_wait);
+            }
+            Err(why) => result = result.fail(why),
+        }
+        endpoints.push(e);
+    }
+    result.max_ack_wait_ms = max_wait.as_secs_f64() * 1e3;
+    if result.passed {
+        // Each node's queue holds exactly its predecessor's 1..=rounds.
+        for (n, e) in endpoints.iter().enumerate() {
+            let pred = asids[(n + nodes - 1) % nodes];
+            match drain_u64s(e, RqId(0), rounds as usize) {
+                Ok(got) => {
+                    if let Err(why) = check_exactly_once(&got, &[pred], rounds) {
+                        result = result.fail(format!("queue of node {n}: {why}"));
+                        break;
+                    }
+                }
+                Err(why) => {
+                    result = result.fail(format!("queue of node {n}: {why}"));
+                    break;
+                }
+            }
+        }
+    }
+    result.deaths = cluster.deaths(victim);
+    result.restarts = cluster.restarts_total();
+    if result.passed && result.deaths == 0 {
+        result = result.fail(format!("injected kill on node {victim} never fired"));
+    }
+    let report = cluster.shutdown();
+    if result.passed && !report.clean() {
+        result = result.fail(format!("unclean shutdown: {report:?}"));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_once_checker_catches_loss_and_dup() {
+        let s = [1u32];
+        let tag = |i: u64| (1u64 << 32) | i;
+        assert!(check_exactly_once(&[tag(1), tag(2), tag(3)], &s, 3).is_ok());
+        assert!(check_exactly_once(&[tag(1), tag(3)], &s, 3).is_err(), "loss");
+        assert!(
+            check_exactly_once(&[tag(1), tag(2), tag(2), tag(3)], &s, 3).is_err(),
+            "duplicate"
+        );
+        assert!(
+            check_exactly_once(&[tag(2), tag(1), tag(3)], &s, 3).is_err(),
+            "reorder"
+        );
+    }
+
+    #[test]
+    fn deterministic_scenarios_smoke() {
+        let r = kill_sink_fan_in(11, 40);
+        assert!(r.passed, "{}", r.failure);
+        let r = corrupt_under_load(12, 150);
+        assert!(r.passed, "{}", r.failure);
+    }
+}

@@ -18,6 +18,7 @@
 //! (`runtime_latency`) and the simulator's own execution speed
 //! (`sim_micro`).
 
+pub mod chaos;
 pub mod overload;
 pub mod reports;
 pub mod rt;

@@ -35,6 +35,7 @@
 
 pub mod contention;
 mod cost;
+pub mod fate;
 pub mod logp;
 mod design;
 mod latency;

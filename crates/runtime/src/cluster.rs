@@ -14,20 +14,53 @@
 //! SPSC rings ([`crate::spsc`]), proxy↔proxy traffic flows through one
 //! bounded MPSC wire ring per node, and remote-queue payloads return to
 //! user processes over bounded SPSC reply rings (both
-//! [`crate::ring::Ring`]). The proxy services everything in *batched
-//! drains* — up to a burst per queue per pass, acknowledgements coalesced
-//! per peer per batch — and idles through the shared spin → yield → park
-//! policy ([`crate::idle`]), woken explicitly by the next enqueue. The
-//! pre-ring `Mutex<VecDeque>` data plane is kept selectable
-//! ([`RtClusterBuilder::locked_data_plane`]) as the A/B baseline for the
-//! `rt_throughput` bench.
+//! [`crate::ring::Ring`]). The pre-ring `Mutex<VecDeque>` data plane is
+//! kept selectable ([`RtClusterBuilder::locked_data_plane`]) as the A/B
+//! baseline for the `rt_throughput` bench.
 //!
-//! Because the proxy is a shared, trusted agent, a node must survive its
-//! failure without hanging every client: proxy threads carry a panic
-//! sentinel, [`Endpoint::wait_flag_timeout`]/[`Endpoint::get_blocking_timeout`]
-//! bound every wait, and [`RtCluster::shutdown`] reports which proxies (if
-//! any) died instead of joining forever. All shared locks recover from
-//! poisoning, so one panicked proxy cannot wedge the survivors.
+//! # The sequenced wire layer
+//!
+//! Inter-proxy traffic is *reliable* over a transport that is allowed to
+//! misbehave (the seeded injector of [`crate::fault`], or a proxy dying
+//! mid-conversation). Every data packet from node `s` to node `d`
+//! carries a per-pair monotone sequence number; the sender retains a
+//! clone of each unacknowledged packet (payloads are [`Bytes`], so a
+//! clone is a refcount, not a copy). The receiver delivers strictly in
+//! order, answers each drain batch with one cumulative
+//! [`WireMsg::AckUpto`] watermark, NACKs on a gap or a corrupt frame,
+//! and drops duplicates (re-acking so the sender converges). A
+//! retransmit timer backstops lost NACKs. Control frames (acks, nacks,
+//! hellos) are never judged by the injector and never dropped: the model
+//! is a lossy transport under a reliable protocol, not a broken
+//! protocol.
+//!
+//! The invariant bought by all this: **an operation whose `lsync` flag
+//! fired was applied at the destination exactly once** — under drops,
+//! duplicates, corruption, overload shedding, and proxy respawns.
+//! Overload shedding rides the same machinery: a saturated proxy *rejects*
+//! excess requests by advancing its delivered watermark and reporting the
+//! rejected sequence numbers on the ack, so the sender drops them from
+//! retention without firing `lsync`.
+//!
+//! # Supervision and recovery
+//!
+//! A proxy is a shared, trusted agent; a node must survive its failure.
+//! Each proxy body runs under `catch_unwind`: on panic the thread returns
+//! its *seat* (the node's command-queue consumers), records the panic
+//! payload, and raises the node's `panicked` bit. All protocol state
+//! lives in a per-node [`NodeState`] owned by `Shared` and locked by the
+//! proxy for its lifetime — so a respawned proxy resumes with the exact
+//! watermarks, retention buffers and CCBs its predecessor held, and no
+//! acknowledged operation can be lost or re-applied. With supervision
+//! enabled ([`RtClusterBuilder::supervise`]) a supervisor thread respawns
+//! dead proxies on a fresh epoch (bounded restarts, exponential backoff);
+//! the newcomer broadcasts [`WireMsg::Hello`] so peers re-ack and
+//! retransmit immediately instead of waiting out their timers. A node
+//! that exhausts its restart budget — or dies without supervision — is
+//! *condemned*: peers purge traffic towards it, bounded waits report
+//! [`RtError::ProxyDown`] with the panic reason, and shutdown completes.
+//! [`RtCluster::shutdown`] is deadline-bounded and reports wedged proxies
+//! instead of joining them forever.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -38,10 +71,15 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use mproxy_model::contention::STABLE_UTILIZATION;
 
+use crate::fault::{RtFaultCounts, RtFaultPlan, RtFaultState};
 use crate::idle::{Backoff, Parker};
 use crate::mem::Segment;
 use crate::ring::Ring;
 use crate::spsc::{self, Entry};
+use crate::supervisor::SupervisorCfg;
+
+/// A node's command-queue consumers, tagged with the owning asid.
+pub(crate) type Seat = Vec<(u32, spsc::Consumer)>;
 
 /// Synchronisation flags per process.
 pub const NUM_FLAGS: usize = 64;
@@ -60,7 +98,7 @@ pub const RQ_DEPTH: usize = 256;
 pub const RECOVERY_UTILIZATION: f64 = 0.4;
 
 /// Wire backlog (packets) past which a saturated, shedding-enabled proxy
-/// starts dropping request traffic.
+/// starts rejecting request traffic.
 pub const SHED_BACKLOG: usize = CMDQ_DEPTH;
 
 /// Most entries a proxy drains from one queue per loop iteration. When the
@@ -72,8 +110,19 @@ const SERVICE_BURST: usize = 2 * CMDQ_DEPTH;
 /// Outbound packets a proxy holds privately (its wire rings to peers all
 /// full) before it stops draining command queues; the bounded command
 /// rings then backpressure the user processes, so total occupancy per
-/// node stays bounded by `CMDQ_DEPTH·procs + WIRE_DEPTH + PENDING_CAP`.
+/// node stays bounded by `CMDQ_DEPTH·procs + WIRE_DEPTH + PENDING_CAP`
+/// (plus retention, which drains as fast as peers acknowledge).
 const PENDING_CAP: usize = 2 * WIRE_DEPTH;
+
+/// Retransmit timeout: a sender with unacknowledged packets and no ack
+/// progress for this long re-sends from its retention buffer. Generous
+/// against ack coalescing latency, tight enough that a dropped packet
+/// costs milliseconds, not a stalled test.
+const RTO: Duration = Duration::from_millis(2);
+
+/// Most retained packets re-sent per destination per retransmit pass;
+/// bounds the burst a recovering receiver takes all at once.
+const RESEND_BURST: usize = 128;
 
 /// Longest a parked proxy sleeps before re-probing its queues (a missed
 /// wake is designed out, this is insurance — see [`crate::idle::Parker`]).
@@ -84,10 +133,15 @@ const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 /// the A/B ablation).
 const LEGACY_IDLE_SPINS: u32 = 500;
 
-/// Loop passes a stopping proxy keeps retrying undeliverable outbound
-/// packets (a peer's ring full and its proxy already gone) before
-/// dropping them — in-flight traffic at shutdown is lossy by contract.
+/// Loop passes a stopping proxy keeps waiting for undeliverable or
+/// unacknowledged outbound packets (a peer's ring full, or a peer dead
+/// but not yet condemned) before giving up on them — in-flight traffic
+/// at shutdown is lossy by contract.
 const STOP_FLUSH_TRIES: u32 = 10_000;
+
+/// Default deadline for [`RtCluster::shutdown`] (and `Drop`): a wedged
+/// proxy thread is reported and detached rather than joined past this.
+const DEFAULT_SHUTDOWN_DEADLINE: Duration = Duration::from_secs(10);
 
 const OP_PUT: u32 = 1;
 const OP_GET: u32 = 2;
@@ -102,7 +156,7 @@ pub struct FlagId(pub u32);
 pub struct RqId(pub u32);
 
 /// A recoverable runtime communication failure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RtError {
     /// A bounded wait expired before the flag reached its target.
     Timeout {
@@ -113,10 +167,13 @@ pub enum RtError {
         /// The value observed when the wait gave up.
         observed: u64,
     },
-    /// A proxy thread died (panicked); the node is unreachable.
+    /// A proxy thread died for good (condemned: it panicked and will not
+    /// be — or can no longer be — respawned); the node is unreachable.
     ProxyDown {
         /// The node whose proxy is gone.
         node: usize,
+        /// The panic payload, when it was a string.
+        reason: Option<String>,
     },
 }
 
@@ -128,7 +185,11 @@ impl std::fmt::Display for RtError {
                 target,
                 observed,
             } => write!(f, "wait on flag {flag} timed out at {observed}/{target}"),
-            RtError::ProxyDown { node } => {
+            RtError::ProxyDown {
+                node,
+                reason: Some(r),
+            } => write!(f, "proxy thread for node {node} has died: {r}"),
+            RtError::ProxyDown { node, reason: None } => {
                 write!(f, "proxy thread for node {node} has died")
             }
         }
@@ -137,19 +198,36 @@ impl std::fmt::Display for RtError {
 
 impl std::error::Error for RtError {}
 
+/// One dead proxy in a [`ShutdownReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProxyPanic {
+    /// The node whose proxy was dead when the cluster shut down.
+    pub node: usize,
+    /// Its panic payload, when it was a string.
+    pub reason: Option<String>,
+}
+
 /// What [`RtCluster::shutdown`] observed while joining the proxies.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShutdownReport {
-    /// Nodes whose proxy thread terminated by panic rather than by the
-    /// stop signal.
-    pub panicked_nodes: Vec<usize>,
+    /// Nodes whose proxy was dead (panicked, not respawned) at shutdown,
+    /// with the captured panic payloads. A node whose proxy died but was
+    /// respawned by supervision and exited cleanly is *not* listed.
+    pub panicked_nodes: Vec<ProxyPanic>,
+    /// Nodes whose proxy failed to exit within the shutdown deadline and
+    /// was detached still running (e.g. stuck in foreign code).
+    pub wedged_nodes: Vec<usize>,
+    /// Total proxy respawns performed by supervision over the cluster's
+    /// lifetime.
+    pub restarts: u64,
 }
 
 impl ShutdownReport {
-    /// True if every proxy exited cleanly.
+    /// True if every proxy exited cleanly at shutdown (recovered-then-
+    /// clean nodes count as clean; see [`ShutdownReport::restarts`]).
     #[must_use]
     pub fn clean(&self) -> bool {
-        self.panicked_nodes.is_empty()
+        self.panicked_nodes.is_empty() && self.wedged_nodes.is_empty()
     }
 }
 
@@ -294,7 +372,7 @@ struct ProxyHealth {
     saturated: AtomicBool,
     /// Times the proxy has crossed into saturation.
     saturation_events: AtomicU64,
-    /// Request packets dropped by overload shedding.
+    /// Request packets rejected by overload shedding.
     shed: AtomicU64,
 }
 
@@ -308,21 +386,21 @@ struct ProcShared {
     timeouts: Arc<AtomicU64>,
 }
 
-#[derive(Debug)]
-enum WireMsg {
+/// An operation travelling the wire (the content of a sequenced
+/// [`WireMsg::Data`] frame).
+#[derive(Debug, Clone)]
+enum Payload {
     Put {
         dst: u32,
         raddr: u64,
         data: Bytes,
         rsync: Option<u32>,
-        ack: Option<(usize, u64)>,
     },
     GetReq {
         src_asid: u32,
         dst: u32,
         raddr: u64,
         nbytes: u32,
-        origin: usize,
         token: u64,
     },
     GetReply {
@@ -334,54 +412,219 @@ enum WireMsg {
         rq: u32,
         data: Bytes,
         rsync: Option<u32>,
-        ack: Option<(usize, u64)>,
-    },
-    /// A single acknowledgement (the locked baseline's per-message form).
-    Ack {
-        token: u64,
-    },
-    /// Acknowledgements coalesced per peer per drain batch.
-    AckBatch {
-        tokens: Vec<u64>,
     },
 }
 
-impl WireMsg {
-    /// Requests may be shed under overload; responses and acks may not —
-    /// each one resolves a CCB or a client wait that has already been
-    /// paid for, and dropping it would strand the waiter.
+impl Payload {
+    /// Requests may be rejected under overload; responses may not — each
+    /// one resolves a CCB that has already been paid for, and rejecting
+    /// it would strand the waiter.
     fn is_request(&self) -> bool {
-        !matches!(
-            self,
-            WireMsg::Ack { .. } | WireMsg::AckBatch { .. } | WireMsg::GetReply { .. }
-        )
+        !matches!(self, Payload::GetReply { .. })
     }
 }
 
-enum Ccb {
-    Get {
-        proc: u32,
-        laddr: u64,
-        nbytes: u32,
-        lsync: Option<u32>,
+/// One frame on the inter-proxy wire. `Data` frames are sequenced per
+/// (sender, destination) pair and subject to fault injection; the control
+/// frames are the reliability layer itself and are never judged or lost.
+#[derive(Debug)]
+enum WireMsg {
+    /// A sequenced operation. `corrupt` models payload damage in flight —
+    /// set by the injector, detected "by checksum" at the receiver, which
+    /// NACKs instead of delivering.
+    Data {
+        from: usize,
+        seq: u64,
+        corrupt: bool,
+        body: Payload,
     },
-    PutAck {
-        proc: u32,
-        lsync: Option<u32>,
+    /// Cumulative acknowledgement: every `Data` frame from the receiver's
+    /// peer with `seq <= upto` has been accounted for. Sequences listed in
+    /// `rejected` were *shed* under overload: the sender must drop them
+    /// from retention without firing their `lsync`.
+    AckUpto {
+        from: usize,
+        upto: u64,
+        rejected: Vec<u64>,
+    },
+    /// The receiver saw a gap or a corrupt frame after `since`; the
+    /// sender should retransmit its retention buffer now rather than
+    /// waiting out the RTO.
+    Nack {
+        from: usize,
+        #[allow(dead_code)]
+        since: u64,
+    },
+    /// A respawned proxy announcing itself: peers re-ack their watermark
+    /// (so the newcomer's retention drains) and retransmit their own
+    /// retained traffic immediately.
+    Hello {
+        from: usize,
+        #[allow(dead_code)]
+        epoch: u64,
     },
 }
 
-struct Shared {
+/// An outstanding GET command control block (lives in [`NodeState`] so a
+/// respawned proxy can still complete or cancel it).
+struct CcbGet {
+    proc: u32,
+    laddr: u64,
+    nbytes: u32,
+    lsync: Option<u32>,
+}
+
+/// A retained (sent, unacknowledged) data frame.
+struct Retained {
+    seq: u64,
+    body: Payload,
+    /// `(proc, flag)` to bump when the frame is acknowledged un-rejected.
+    lsync: Option<(u32, u32)>,
+}
+
+/// Sender-side state towards one destination node.
+struct TxPeer {
+    /// Sequence number the next new frame will carry (first frame is 1).
+    next_seq: u64,
+    /// Highest acknowledged sequence.
+    acked: u64,
+    /// Sent-but-unacknowledged frames, in sequence order. Unbounded by
+    /// type, bounded in practice by the receiver's ack cadence — even a
+    /// *saturated* receiver advances its watermark (shed-reject), so
+    /// retention drains at wire speed.
+    retained: VecDeque<Retained>,
+    /// Last time the ack watermark moved (or retention went non-empty);
+    /// the RTO measures from here.
+    last_progress: Instant,
+    /// A NACK (or a peer Hello) asked for immediate retransmission.
+    nack_hint: bool,
+}
+
+impl TxPeer {
+    fn new(now: Instant) -> TxPeer {
+        TxPeer {
+            next_seq: 1,
+            acked: 0,
+            retained: VecDeque::new(),
+            last_progress: now,
+            nack_hint: false,
+        }
+    }
+}
+
+/// Receiver-side state from one source node.
+#[derive(Default)]
+struct RxPeer {
+    /// Highest sequence delivered (or rejected) in order.
+    delivered: u64,
+    /// An ack should go out this pass.
+    ack_pending: bool,
+    /// A nack should go out this pass.
+    nack_pending: bool,
+    /// Sequences shed since the last ack, to ride out on it.
+    rejected_new: Vec<u64>,
+}
+
+/// An accepted ENQ whose reply ring was full; delivery is owed (the
+/// frame was already acknowledged), so this queue must survive a proxy
+/// crash — it does, inside [`NodeState`].
+struct PendingEnq {
+    dst: u32,
+    rq: u32,
+    data: Bytes,
+    rsync: Option<u32>,
+}
+
+/// Everything a node's proxy knows that must survive the proxy thread:
+/// protocol watermarks, retention buffers, CCBs, stashed undeliverable
+/// output. Owned by `Shared`, locked by the serving proxy for its
+/// lifetime; the supervisor locks it briefly between incarnations to
+/// bump the epoch.
+pub(crate) struct NodeState {
+    /// Incarnation number; bumped by the supervisor on each respawn.
+    pub(crate) epoch: u64,
+    /// Respawn announcement owed to peers (set by the supervisor, cleared
+    /// by the new incarnation once the Hellos are queued).
+    pub(crate) hello_pending: bool,
+    next_token: u64,
+    ccbs: HashMap<u64, CcbGet>,
+    tx: Vec<TxPeer>,
+    rx: Vec<RxPeer>,
+    /// Outbound frames whose destination ring was full, per node.
+    /// Flushed in FIFO order before anything new is pushed, so per-pair
+    /// wire order is preserved. Holds control frames too — an ack
+    /// carrying rejections must never be lost.
+    pending_wire: Vec<VecDeque<WireMsg>>,
+    /// Accepted local deliveries whose reply ring was full.
+    pending_rq: VecDeque<PendingEnq>,
+}
+
+impl NodeState {
+    fn new(nodes: usize, now: Instant) -> NodeState {
+        NodeState {
+            epoch: 0,
+            hello_pending: false,
+            next_token: 0,
+            ccbs: HashMap::new(),
+            tx: (0..nodes).map(|_| TxPeer::new(now)).collect(),
+            rx: (0..nodes).map(|_| RxPeer::default()).collect(),
+            pending_wire: (0..nodes).map(|_| VecDeque::new()).collect(),
+            pending_rq: VecDeque::new(),
+        }
+    }
+
+    /// Outbound frames stashed because their destination rings were full.
+    fn backlogged(&self) -> usize {
+        self.pending_wire.iter().map(VecDeque::len).sum::<usize>() + self.pending_rq.len()
+    }
+
+    fn outbox_empty(&self) -> bool {
+        self.pending_rq.is_empty() && self.pending_wire.iter().all(VecDeque::is_empty)
+    }
+}
+
+pub(crate) struct Shared {
     procs: Vec<Arc<ProcShared>>,
     perms: RwLock<HashSet<(u32, u32)>>,
     allow_all: AtomicBool,
-    stop: AtomicBool,
+    pub(crate) stop: AtomicBool,
     wires: Vec<Wire>,
-    parkers: Vec<Parker>,              // per node, wakes the proxy thread
+    pub(crate) parkers: Vec<Parker>, // per node, wakes the proxy thread
     ops_serviced: Vec<Arc<AtomicU64>>, // per node
-    panicked: Vec<Arc<AtomicBool>>,    // per node
-    health: Vec<Arc<ProxyHealth>>,     // per node
+    /// Per node: the proxy is currently dead (set after unwinding, after
+    /// the seat and panic reason are back; cleared by a respawn).
+    pub(crate) panicked: Vec<AtomicBool>,
+    /// Per node: permanently dead — no respawn will come. Peers purge
+    /// traffic towards condemned nodes; waits abort against them.
+    pub(crate) condemned: Vec<AtomicBool>,
+    /// Cheap gate for the per-loop condemnation scan.
+    any_condemned: AtomicBool,
+    /// Mirror of each node's epoch for lock-free queries.
+    pub(crate) epochs: Vec<AtomicU64>,
+    /// Times each node's proxy has panicked.
+    deaths: Vec<AtomicU64>,
+    /// Total supervisor respawns.
+    pub(crate) restarts_total: AtomicU64,
+    /// Last panic payload per node, when it was a string.
+    pub(crate) panic_reasons: Vec<Mutex<Option<String>>>,
+    /// The per-node protocol state (see [`NodeState`]).
+    pub(crate) node_state: Vec<Mutex<NodeState>>,
+    /// The node's command-queue consumers, parked here whenever no proxy
+    /// incarnation is running; each incarnation takes the seat and
+    /// returns it on the way out (even by panic).
+    pub(crate) seats: Vec<Mutex<Option<Seat>>>,
+    /// The §4.1 ready-bit word per node (shared with the endpoints).
+    ready_masks: Vec<Arc<AtomicU64>>,
+    /// Proxy thread handles, replaced by the supervisor on respawn.
+    pub(crate) handles: Mutex<Vec<Option<JoinHandle<()>>>>,
+    health: Vec<Arc<ProxyHealth>>, // per node
     shed_enabled: AtomicBool,
+    /// The installed fault injector, if any.
+    faults: Option<RtFaultState>,
+    /// Supervision policy; `None` means a dead proxy is condemned at once.
+    pub(crate) supervision: Option<SupervisorCfg>,
+    /// Cluster start time (stall windows are relative to this).
+    started: Instant,
     /// True when running the locked `Mutex<VecDeque>` baseline plane.
     locked_plane: bool,
 }
@@ -407,22 +650,32 @@ impl Shared {
         self.procs[proc as usize].flags[flag as usize].fetch_add(1, Ordering::Release);
     }
 
-    /// First node whose proxy has died, if any.
-    fn panicked_node(&self) -> Option<usize> {
-        self.panicked.iter().position(|p| p.load(Ordering::Acquire))
+    /// First condemned node, if any.
+    fn condemned_node(&self) -> Option<usize> {
+        if !self.any_condemned.load(Ordering::Acquire) {
+            return None;
+        }
+        self.condemned
+            .iter()
+            .position(|c| c.load(Ordering::Acquire))
+    }
+
+    fn panic_reason(&self, node: usize) -> Option<String> {
+        self.panic_reasons[node]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 }
 
-/// Sets the per-node panic bit if the proxy unwinds instead of returning.
-struct PanicSentinel {
-    flag: Arc<AtomicBool>,
-}
-
-impl Drop for PanicSentinel {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            self.flag.store(true, Ordering::Release);
-        }
+/// Marks `node` permanently dead and wakes everything that might be
+/// waiting on it (peer proxies purge their traffic towards it on their
+/// next pass; bounded endpoint waits abort).
+pub(crate) fn condemn(shared: &Shared, node: usize) {
+    shared.condemned[node].store(true, Ordering::Release);
+    shared.any_condemned.store(true, Ordering::Release);
+    for p in &shared.parkers {
+        p.wake();
     }
 }
 
@@ -434,6 +687,8 @@ pub struct RtClusterBuilder {
     shed: bool,
     locked: bool,
     watchdog_interval: Duration,
+    fault_plan: Option<RtFaultPlan>,
+    supervision: Option<SupervisorCfg>,
 }
 
 impl RtClusterBuilder {
@@ -452,31 +707,32 @@ impl RtClusterBuilder {
             shed: false,
             locked: false,
             watchdog_interval: Duration::from_millis(1),
+            fault_plan: None,
+            supervision: None,
         }
     }
 
     /// Enables overload shedding: while a proxy is saturated, its wire
-    /// backlog is capped at [`SHED_BACKLOG`] by dropping the oldest
-    /// *request* packets (puts, gets, enqueues). Responses and
-    /// acknowledgements are never shed — they resolve waits that are
-    /// already charged to a client. A shed request simply never happens;
-    /// its submitter observes that through a bounded wait
-    /// ([`Endpoint::wait_flag_timeout`]), exactly as if the wire had
-    /// dropped it. Off by default: an unsaturated cluster behaves
-    /// identically either way.
+    /// backlog is capped at [`SHED_BACKLOG`] by *rejecting* the oldest
+    /// request frames (puts, gets, enqueues). Responses are never shed —
+    /// they resolve waits already charged to a client. A rejected request
+    /// simply never happens: its sequence number is acknowledged as
+    /// rejected, so the sender drops it from retention *without* firing
+    /// `lsync`, and the submitter observes the loss through a bounded
+    /// wait ([`Endpoint::wait_flag_timeout`]). Off by default: an
+    /// unsaturated cluster behaves identically either way.
     pub fn enable_shedding(&mut self) -> &mut Self {
         self.shed = true;
         self
     }
 
     /// Selects the pre-ring **locked** data plane: `Mutex<VecDeque>`
-    /// wire and reply queues, per-message acknowledgements (no batch
-    /// coalescing), and the legacy fixed idle loop (500 spins, then
-    /// `yield_now`, never parking) instead of the lock-free rings with
-    /// the adaptive idle policy. This is the `--baseline-locked`
-    /// ablation of the `rt_throughput` bench; the protocol and every
-    /// observable behaviour are identical, only the data-plane mechanics
-    /// differ. Off by default.
+    /// wire and reply queues and the legacy fixed idle loop (500 spins,
+    /// then `yield_now`, never parking) instead of the lock-free rings
+    /// with the adaptive idle policy. This is the `--baseline-locked`
+    /// ablation of the `rt_throughput` bench; the sequenced wire
+    /// protocol and every observable behaviour are identical, only the
+    /// data-plane mechanics differ. Off by default.
     pub fn locked_data_plane(&mut self) -> &mut Self {
         self.locked = true;
         self
@@ -495,6 +751,33 @@ impl RtClusterBuilder {
         self
     }
 
+    /// Installs a seeded fault plan ([`RtFaultPlan`]): per-packet drop /
+    /// duplication / corruption on data frames, plus proxy stalls and
+    /// kills. With no plan installed the wire layer pays one never-taken
+    /// branch per packet.
+    ///
+    /// # Panics
+    ///
+    /// [`RtClusterBuilder::start`] panics if the plan references a node
+    /// outside the cluster.
+    pub fn fault_plan(&mut self, plan: RtFaultPlan) -> &mut Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables proxy supervision: a dead proxy is respawned on a fresh
+    /// epoch after an exponential backoff (`backoff · 2^restarts_so_far`),
+    /// up to `max_restarts` times per node; past the budget the node is
+    /// condemned (fail-fast on crash loops). Without supervision any
+    /// proxy death condemns its node immediately.
+    pub fn supervise(&mut self, max_restarts: u32, backoff: Duration) -> &mut Self {
+        self.supervision = Some(SupervisorCfg {
+            max_restarts,
+            backoff,
+        });
+        self
+    }
+
     /// Adds a user process on `node` with a segment of `mem_bytes`.
     ///
     /// # Panics
@@ -510,7 +793,9 @@ impl RtClusterBuilder {
     /// [`Endpoint`] per declared process (in declaration order).
     #[must_use]
     pub fn start(self) -> (RtCluster, Vec<Endpoint>) {
-        let wires: Vec<Wire> = (0..self.nodes).map(|_| Wire::new(self.locked)).collect();
+        let nodes = self.nodes;
+        let now = Instant::now();
+        let wires: Vec<Wire> = (0..nodes).map(|_| Wire::new(self.locked)).collect();
         let procs: Vec<Arc<ProcShared>> = self
             .procs
             .iter()
@@ -529,76 +814,107 @@ impl RtClusterBuilder {
                 })
             })
             .collect();
+
+        // Per-process command queues, grouped by node, plus the §4.1
+        // ready-bit vector per node.
+        let mut per_node: Vec<Seat> = (0..nodes).map(|_| Vec::new()).collect();
+        let masks: Vec<Arc<AtomicU64>> =
+            (0..nodes).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut cmd_txs = Vec::with_capacity(self.procs.len());
+        for &(node, _) in &self.procs {
+            let (tx, rx) = spsc::channel(CMDQ_DEPTH);
+            let qbit = per_node[node].len() as u32;
+            assert!(qbit < 64, "at most 64 processes per node");
+            per_node[node].push((cmd_txs.len() as u32, rx));
+            cmd_txs.push((tx, node, qbit));
+        }
+
         let shared = Arc::new(Shared {
             procs,
             perms: RwLock::new(HashSet::new()),
             allow_all: AtomicBool::new(true),
             stop: AtomicBool::new(false),
             wires,
-            parkers: (0..self.nodes).map(|_| Parker::new()).collect(),
-            ops_serviced: (0..self.nodes)
+            parkers: (0..nodes).map(|_| Parker::new()).collect(),
+            ops_serviced: (0..nodes)
                 .map(|_| Arc::new(AtomicU64::new(0)))
                 .collect(),
-            panicked: (0..self.nodes)
-                .map(|_| Arc::new(AtomicBool::new(false)))
+            panicked: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            condemned: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            any_condemned: AtomicBool::new(false),
+            epochs: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            deaths: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            restarts_total: AtomicU64::new(0),
+            panic_reasons: (0..nodes).map(|_| Mutex::new(None)).collect(),
+            node_state: (0..nodes)
+                .map(|_| Mutex::new(NodeState::new(nodes, now)))
                 .collect(),
-            health: (0..self.nodes)
+            seats: per_node
+                .into_iter()
+                .map(|s| Mutex::new(Some(s)))
+                .collect(),
+            ready_masks: masks.clone(),
+            handles: Mutex::new((0..nodes).map(|_| None).collect()),
+            health: (0..nodes)
                 .map(|_| Arc::new(ProxyHealth::default()))
                 .collect(),
             shed_enabled: AtomicBool::new(self.shed),
+            faults: self
+                .fault_plan
+                .map(|plan| RtFaultState::new(plan, nodes)),
+            supervision: self.supervision,
+            started: now,
             locked_plane: self.locked,
         });
 
-        // Per-process command queues, grouped by node, plus the §4.1
-        // ready-bit vector per node.
-        let mut endpoints = Vec::with_capacity(self.procs.len());
-        let mut per_node: Vec<Vec<(u32, spsc::Consumer)>> =
-            (0..self.nodes).map(|_| Vec::new()).collect();
-        let masks: Vec<Arc<AtomicU64>> = (0..self.nodes)
-            .map(|_| Arc::new(AtomicU64::new(0)))
-            .collect();
-        for (i, &(node, _)) in self.procs.iter().enumerate() {
-            let (tx, rx) = spsc::channel(CMDQ_DEPTH);
-            let qbit = per_node[node].len() as u32;
-            assert!(qbit < 64, "at most 64 processes per node");
-            per_node[node].push((i as u32, rx));
-            endpoints.push(Endpoint {
+        let endpoints = cmd_txs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (tx, node, qbit))| Endpoint {
                 me: Arc::clone(&shared.procs[i]),
                 shared: Arc::clone(&shared),
                 cmd: tx,
                 ready: Arc::clone(&masks[node]),
                 qbit,
                 next_alloc: 0,
-            });
-        }
-
-        let joins = per_node
-            .into_iter()
-            .enumerate()
-            .map(|(node, queues)| {
-                let shared = Arc::clone(&shared);
-                let mask = Arc::clone(&masks[node]);
-                std::thread::Builder::new()
-                    .name(format!("mproxy-{node}"))
-                    .spawn(move || proxy_main(node, queues, &mask, &shared))
-                    .expect("spawn proxy thread")
             })
             .collect();
 
+        {
+            let mut handles = shared.handles.lock().unwrap_or_else(|e| e.into_inner());
+            for (node, slot) in handles.iter_mut().enumerate() {
+                let sh = Arc::clone(&shared);
+                *slot = Some(
+                    std::thread::Builder::new()
+                        .name(format!("mproxy-{node}"))
+                        .spawn(move || run_proxy(node, sh))
+                        .expect("spawn proxy thread"),
+                );
+            }
+        }
+
         let watchdog = {
-            let shared = Arc::clone(&shared);
+            let sh = Arc::clone(&shared);
             let interval = self.watchdog_interval;
             std::thread::Builder::new()
                 .name("mproxy-watchdog".into())
-                .spawn(move || watchdog_main(&shared, interval))
+                .spawn(move || watchdog_main(&sh, interval))
                 .expect("spawn watchdog thread")
         };
+
+        let supervisor = shared.supervision.map(|_| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mproxy-supervisor".into())
+                .spawn(move || crate::supervisor::supervisor_main(&sh))
+                .expect("spawn supervisor thread")
+        });
 
         (
             RtCluster {
                 shared,
-                joins,
                 watchdog: Some(watchdog),
+                supervisor,
             },
             endpoints,
         )
@@ -608,8 +924,8 @@ impl RtClusterBuilder {
 /// A running cluster of proxy threads.
 pub struct RtCluster {
     shared: Arc<Shared>,
-    joins: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl RtCluster {
@@ -636,7 +952,8 @@ impl RtCluster {
             .remove(&(src, dst));
     }
 
-    /// Total commands + packets serviced by node `node`'s proxy.
+    /// Total commands + packets serviced by node `node`'s proxy
+    /// (cumulative across respawns).
     #[must_use]
     pub fn ops_serviced(&self, node: usize) -> u64 {
         self.shared.ops_serviced[node].load(Ordering::Relaxed)
@@ -667,15 +984,15 @@ impl RtCluster {
             .load(Ordering::Relaxed)
     }
 
-    /// Request packets dropped on node `node` by overload shedding
+    /// Request packets rejected on node `node` by overload shedding
     /// ([`RtClusterBuilder::enable_shedding`]).
     #[must_use]
     pub fn shed_count(&self, node: usize) -> u64 {
         self.shared.health[node].shed.load(Ordering::Relaxed)
     }
 
-    /// Nodes whose proxy thread has already died (live query; a node
-    /// appears here as soon as its proxy finishes unwinding).
+    /// Nodes whose proxy is dead *right now* (panicked and not yet
+    /// respawned; a live query).
     #[must_use]
     pub fn panicked_nodes(&self) -> Vec<usize> {
         self.shared
@@ -687,23 +1004,110 @@ impl RtCluster {
             .collect()
     }
 
-    /// Stops the proxy threads, waits for them to exit, and reports any
-    /// that died by panic instead of the stop signal. Completes even with
-    /// endpoint operations still in flight: surviving proxies drain their
-    /// queues before exiting, dead ones are joined immediately.
-    pub fn shutdown(mut self) -> ShutdownReport {
-        self.stop_and_join()
+    /// Nodes condemned as permanently dead (crash-looped past the restart
+    /// budget, or died without supervision).
+    #[must_use]
+    pub fn condemned_nodes(&self) -> Vec<usize> {
+        self.shared
+            .condemned
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Ordering::Acquire))
+            .map(|(n, _)| n)
+            .collect()
     }
 
-    fn stop_and_join(&mut self) -> ShutdownReport {
+    /// Node `node`'s current proxy incarnation (0 until the first
+    /// respawn).
+    #[must_use]
+    pub fn epoch(&self, node: usize) -> u64 {
+        self.shared.epochs[node].load(Ordering::Relaxed)
+    }
+
+    /// Times node `node`'s proxy has died by panic.
+    #[must_use]
+    pub fn deaths(&self, node: usize) -> u64 {
+        self.shared.deaths[node].load(Ordering::Relaxed)
+    }
+
+    /// Total proxy respawns performed by supervision.
+    #[must_use]
+    pub fn restarts_total(&self) -> u64 {
+        self.shared.restarts_total.load(Ordering::Relaxed)
+    }
+
+    /// The last panic payload recorded for node `node`'s proxy, when it
+    /// was a string.
+    #[must_use]
+    pub fn panic_reason(&self, node: usize) -> Option<String> {
+        self.shared.panic_reason(node)
+    }
+
+    /// Injection counters of the installed fault plan, if any.
+    #[must_use]
+    pub fn fault_counts(&self) -> Option<RtFaultCounts> {
+        self.shared.faults.as_ref().map(RtFaultState::counts)
+    }
+
+    /// Stops the proxy threads, waits for them to exit, and reports what
+    /// it saw: proxies dead by panic, proxies wedged past the default
+    /// 10 s deadline (detached, not joined), and the respawn total.
+    /// Completes even with endpoint operations still in flight: surviving
+    /// proxies drain their queues and retention buffers before exiting.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.stop_and_join(DEFAULT_SHUTDOWN_DEADLINE)
+    }
+
+    /// [`RtCluster::shutdown`] with an explicit deadline for the
+    /// slowest proxy.
+    pub fn shutdown_with_deadline(mut self, deadline: Duration) -> ShutdownReport {
+        self.stop_and_join(deadline)
+    }
+
+    fn stop_and_join(&mut self, deadline: Duration) -> ShutdownReport {
         self.shared.stop.store(true, Ordering::Relaxed);
         for p in &self.shared.parkers {
             p.wake();
         }
-        let mut report = ShutdownReport::default();
-        for (node, j) in self.joins.drain(..).enumerate() {
-            if j.join().is_err() {
-                report.panicked_nodes.push(node);
+        // The supervisor first: it observes stop promptly, condemns any
+        // node that is dead right now (so surviving proxies stop waiting
+        // for its acknowledgements), and exits.
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        let handles: Vec<Option<JoinHandle<()>>> = {
+            let mut guard = self.shared.handles.lock().unwrap_or_else(|e| e.into_inner());
+            guard.iter_mut().map(Option::take).collect()
+        };
+        let limit = Instant::now() + deadline;
+        let mut report = ShutdownReport {
+            restarts: self.shared.restarts_total.load(Ordering::Relaxed),
+            ..ShutdownReport::default()
+        };
+        for (node, handle) in handles.into_iter().enumerate() {
+            let Some(handle) = handle else { continue };
+            loop {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                    break;
+                }
+                if Instant::now() >= limit {
+                    // Wedged (e.g. stuck in foreign code): report it,
+                    // condemn it so nobody waits on it, detach the
+                    // handle rather than hanging the shutdown.
+                    report.wedged_nodes.push(node);
+                    condemn(&self.shared, node);
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        for (node, p) in self.shared.panicked.iter().enumerate() {
+            if p.load(Ordering::Acquire) {
+                report.panicked_nodes.push(ProxyPanic {
+                    node,
+                    reason: self.shared.panic_reason(node),
+                });
             }
         }
         if let Some(w) = self.watchdog.take() {
@@ -715,7 +1119,7 @@ impl RtCluster {
 
 impl Drop for RtCluster {
     fn drop(&mut self) {
-        let _ = self.stop_and_join();
+        let _ = self.stop_and_join(DEFAULT_SHUTDOWN_DEADLINE);
     }
 }
 
@@ -796,13 +1200,16 @@ impl Endpoint {
     }
 
     /// Bounded [`Endpoint::wait_flag`]: gives up after `timeout`, and
-    /// aborts immediately if a proxy thread has died — the wait could
-    /// otherwise never complete.
+    /// aborts immediately if a proxy has been condemned — the wait could
+    /// otherwise never complete. A proxy that merely died *under
+    /// supervision* does not abort the wait: its respawn may still
+    /// complete the operation within the timeout.
     ///
     /// # Errors
     ///
-    /// [`RtError::Timeout`] when the deadline passes, [`RtError::ProxyDown`]
-    /// when a proxy panicked. Both bump [`Endpoint::timeouts`].
+    /// [`RtError::Timeout`] when the deadline passes,
+    /// [`RtError::ProxyDown`] when a proxy is permanently gone. Both bump
+    /// [`Endpoint::timeouts`].
     pub fn wait_flag_timeout(
         &self,
         f: FlagId,
@@ -816,9 +1223,12 @@ impl Endpoint {
             if observed >= target {
                 return Ok(());
             }
-            if let Some(node) = self.shared.panicked_node() {
+            if let Some(node) = self.shared.condemned_node() {
                 self.me.timeouts.fetch_add(1, Ordering::Relaxed);
-                return Err(RtError::ProxyDown { node });
+                return Err(RtError::ProxyDown {
+                    node,
+                    reason: self.shared.panic_reason(node),
+                });
             }
             if Instant::now() >= deadline {
                 self.me.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -949,400 +1359,654 @@ fn unpack_sync(v: u64) -> (Option<u32>, Option<u32>) {
     ((l != 0).then(|| l - 1), (r != 0).then(|| r - 1))
 }
 
-/// The proxy's private working state: command control blocks, the
-/// outbound overflow stash, and the per-batch ACK coalescing buffers.
-struct ProxyCtx<'a> {
-    node: usize,
-    shared: &'a Shared,
-    ccbs: HashMap<u64, Ccb>,
-    next_token: u64,
-    /// Outbound packets whose destination ring was full, per node.
-    /// Flushed in FIFO order before anything new is pushed, so per-pair
-    /// wire order is preserved.
-    pending_wire: Vec<VecDeque<WireMsg>>,
-    /// Local remote-queue deliveries whose reply ring was full.
-    pending_rq: VecDeque<WireMsg>,
-    /// Ack tokens per origin node, coalesced within one drain batch
-    /// (lock-free plane only; the locked baseline acks per message).
-    ack_batch: Vec<Vec<u64>>,
-    coalesce: bool,
+/// Pushes one wire frame towards `dst`, stashing it in the caller's
+/// pending queue if the ring is full or earlier frames are already
+/// stashed (FIFO per destination).
+fn push_wire(shared: &Shared, pending: &mut VecDeque<WireMsg>, dst: usize, msg: WireMsg) {
+    if !pending.is_empty() {
+        pending.push_back(msg);
+        return;
+    }
+    match shared.wires[dst].try_push(msg) {
+        Ok(()) => shared.parkers[dst].wake(),
+        Err(back) => pending.push_back(back),
+    }
 }
 
-impl<'a> ProxyCtx<'a> {
-    fn new(node: usize, shared: &'a Shared) -> ProxyCtx<'a> {
-        let nodes = shared.wires.len();
-        ProxyCtx {
-            node,
-            shared,
-            ccbs: HashMap::new(),
-            next_token: 0,
-            pending_wire: (0..nodes).map(|_| VecDeque::new()).collect(),
-            pending_rq: VecDeque::new(),
-            ack_batch: (0..nodes).map(|_| Vec::new()).collect(),
-            coalesce: !shared.locked_plane,
+/// Retries stashed outbound frames and owed local deliveries; true if
+/// any progress was made. Pending output towards a condemned node is
+/// discarded — nobody will ever drain that ring.
+fn flush_pending(shared: &Shared, st: &mut NodeState) -> bool {
+    let mut progressed = false;
+    for (dst, q) in st.pending_wire.iter_mut().enumerate() {
+        if q.is_empty() {
+            continue;
         }
-    }
-
-    /// Outbound packets stashed because their destination rings were full.
-    fn backlogged(&self) -> usize {
-        self.pending_wire.iter().map(VecDeque::len).sum::<usize>() + self.pending_rq.len()
-    }
-
-    fn outbox_empty(&self) -> bool {
-        self.pending_rq.is_empty() && self.pending_wire.iter().all(VecDeque::is_empty)
-    }
-
-    /// Sends a packet towards `dst_node`, stashing it locally if the
-    /// ring is full (or if earlier packets for that node are already
-    /// stashed — FIFO per destination).
-    fn send_wire(&mut self, dst_node: usize, msg: WireMsg) {
-        if !self.pending_wire[dst_node].is_empty() {
-            self.pending_wire[dst_node].push_back(msg);
-            return;
+        if shared.condemned[dst].load(Ordering::Relaxed) {
+            q.clear();
+            continue;
         }
-        match self.shared.wires[dst_node].try_push(msg) {
-            Ok(()) => self.shared.parkers[dst_node].wake(),
-            Err(back) => self.pending_wire[dst_node].push_back(back),
-        }
-    }
-
-    /// Retries stashed outbound packets; true if any were delivered.
-    fn flush_pending(&mut self) -> bool {
-        let mut progressed = false;
-        for (dst, q) in self.pending_wire.iter_mut().enumerate() {
-            let mut pushed = false;
-            while let Some(m) = q.pop_front() {
-                match self.shared.wires[dst].try_push(m) {
-                    Ok(()) => pushed = true,
-                    Err(back) => {
-                        q.push_front(back);
-                        break;
-                    }
-                }
-            }
-            if pushed {
-                self.shared.parkers[dst].wake();
-                progressed = true;
-            }
-        }
-        while let Some(m) = self.pending_rq.pop_front() {
-            let WireMsg::Enq {
-                dst,
-                rq,
-                data,
-                rsync,
-                ack,
-            } = m
-            else {
-                unreachable!("pending_rq holds only Enq packets")
-            };
-            match self.shared.procs[dst as usize].queues[rq as usize].try_push(data) {
-                Ok(()) => {
-                    self.finish_enq(dst, rsync, ack);
-                    progressed = true;
-                }
-                Err(data) => {
-                    self.pending_rq.push_front(WireMsg::Enq {
-                        dst,
-                        rq,
-                        data,
-                        rsync,
-                        ack,
-                    });
+        let mut pushed = false;
+        while let Some(m) = q.pop_front() {
+            match shared.wires[dst].try_push(m) {
+                Ok(()) => pushed = true,
+                Err(back) => {
+                    q.push_front(back);
                     break;
                 }
             }
         }
-        progressed
-    }
-
-    /// Delivery side effects of a completed ENQ: bump the receiver's
-    /// flag, acknowledge the sender.
-    fn finish_enq(&mut self, dst: u32, rsync: Option<u32>, ack: Option<(usize, u64)>) {
-        if let Some(f) = rsync {
-            self.shared.set_flag(dst, f);
-        }
-        if let Some((origin, token)) = ack {
-            self.emit_ack(origin, token);
+        if pushed {
+            shared.parkers[dst].wake();
+            progressed = true;
         }
     }
-
-    /// Queues an acknowledgement: coalesced per peer per batch on the
-    /// ring plane, one packet per message on the locked baseline.
-    fn emit_ack(&mut self, origin: usize, token: u64) {
-        if self.coalesce {
-            self.ack_batch[origin].push(token);
-        } else {
-            self.send_wire(origin, WireMsg::Ack { token });
-        }
-    }
-
-    /// Flushes the coalesced acknowledgements accumulated this batch:
-    /// one `AckBatch` packet per peer that completed any sends.
-    fn flush_acks(&mut self) {
-        for origin in 0..self.ack_batch.len() {
-            if self.ack_batch[origin].is_empty() {
-                continue;
-            }
-            let tokens = std::mem::take(&mut self.ack_batch[origin]);
-            self.send_wire(origin, WireMsg::AckBatch { tokens });
-        }
-    }
-
-    fn resolve_ack(&mut self, token: u64) {
-        if let Some(Ccb::PutAck {
-            proc,
-            lsync: Some(f),
-        }) = self.ccbs.remove(&token)
-        {
-            self.shared.set_flag(proc, f);
-        }
-    }
-
-    fn handle_command(&mut self, src: u32, e: Entry) {
-        let shared = self.shared;
-        let laddr = e.args[0];
-        let dst = (e.args[2] >> 32) as u32;
-        let nbytes = e.args[2] as u32;
-        let (lsync, rsync) = unpack_sync(e.args[3]);
-        if dst as usize >= shared.procs.len() || !shared.allowed(src, dst) {
-            shared.fault(src);
-            return;
-        }
-        let src_proc = &shared.procs[src as usize];
-        match e.op {
-            OP_PUT => {
-                if !src_proc.seg.check(laddr, nbytes as usize) {
-                    shared.fault(src);
-                    return;
+    while let Some(p) = st.pending_rq.pop_front() {
+        let PendingEnq {
+            dst,
+            rq,
+            data,
+            rsync,
+        } = p;
+        match shared.procs[dst as usize].queues[rq as usize].try_push(data) {
+            Ok(()) => {
+                if let Some(f) = rsync {
+                    shared.set_flag(dst, f);
                 }
-                let data = src_proc.seg.read(laddr, nbytes as usize);
-                let raddr = e.args[1];
-                let ack = lsync.map(|l| {
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    self.ccbs.insert(
-                        token,
-                        Ccb::PutAck {
-                            proc: src,
-                            lsync: Some(l),
-                        },
-                    );
-                    (self.node, token)
+                progressed = true;
+            }
+            Err(data) => {
+                st.pending_rq.push_front(PendingEnq {
+                    dst,
+                    rq,
+                    data,
+                    rsync,
                 });
-                let dst_node = shared.procs[dst as usize].node;
-                self.send_wire(
-                    dst_node,
-                    WireMsg::Put {
-                        dst,
-                        raddr,
-                        data,
-                        rsync,
-                        ack,
-                    },
-                );
+                break;
             }
-            OP_GET => {
-                if !src_proc.seg.check(laddr, nbytes as usize) {
-                    shared.fault(src);
-                    return;
-                }
-                let token = self.next_token;
-                self.next_token += 1;
-                self.ccbs.insert(
-                    token,
-                    Ccb::Get {
-                        proc: src,
-                        laddr,
-                        nbytes,
-                        lsync,
-                    },
-                );
-                let dst_node = shared.procs[dst as usize].node;
-                self.send_wire(
-                    dst_node,
-                    WireMsg::GetReq {
-                        src_asid: src,
-                        dst,
-                        raddr: e.args[1],
-                        nbytes,
-                        origin: self.node,
-                        token,
-                    },
-                );
-            }
-            OP_ENQ => {
-                if !src_proc.seg.check(laddr, nbytes as usize) {
-                    shared.fault(src);
-                    return;
-                }
-                let data = src_proc.seg.read(laddr, nbytes as usize);
-                let rq = e.args[1] as u32;
-                if rq as usize >= NUM_QUEUES {
-                    shared.fault(src);
-                    return;
-                }
-                let ack = lsync.map(|l| {
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    self.ccbs.insert(
-                        token,
-                        Ccb::PutAck {
-                            proc: src,
-                            lsync: Some(l),
-                        },
-                    );
-                    (self.node, token)
-                });
-                let dst_node = shared.procs[dst as usize].node;
-                self.send_wire(
-                    dst_node,
-                    WireMsg::Enq {
-                        dst,
-                        rq,
-                        data,
-                        rsync,
-                        ack,
-                    },
-                );
-            }
-            _ => shared.fault(src),
         }
     }
+    progressed
+}
 
-    fn handle_packet(&mut self, msg: WireMsg) {
-        let shared = self.shared;
-        match msg {
-            WireMsg::Put {
-                dst,
-                raddr,
-                data,
-                rsync,
-                ack,
-            } => {
-                let dp = &shared.procs[dst as usize];
-                if dp.seg.check(raddr, data.len()) {
-                    dp.seg.write(raddr, &data);
+/// Sequences, retains, and transmits one data frame from `node` towards
+/// `dst_node`, applying the fault injector's verdict (drop / duplicate /
+/// corrupt) to the transmission — never to the retained copy, which is
+/// what retransmission re-sends.
+fn send_data(
+    shared: &Shared,
+    st: &mut NodeState,
+    node: usize,
+    now: Instant,
+    dst_node: usize,
+    body: Payload,
+    lsync: Option<(u32, u32)>,
+) {
+    if shared.condemned[dst_node].load(Ordering::Relaxed) {
+        // The destination is permanently gone: the op is lost, its lsync
+        // never fires (clients observe that through bounded waits), and
+        // a GET's CCB is cancelled so the token can't dangle.
+        if let Payload::GetReq { token, .. } = body {
+            st.ccbs.remove(&token);
+        }
+        return;
+    }
+    let tx = &mut st.tx[dst_node];
+    let seq = tx.next_seq;
+    tx.next_seq += 1;
+    if tx.retained.is_empty() {
+        tx.last_progress = now;
+    }
+    tx.retained.push_back(Retained {
+        seq,
+        body: body.clone(),
+        lsync,
+    });
+    let mut corrupt = false;
+    let mut copies = 1;
+    if let Some(faults) = &shared.faults {
+        if faults.packet_faults_possible() {
+            let fate = faults.judge(node);
+            if fate.drop {
+                return; // retention + RTO recover it
+            }
+            corrupt = fate.corrupt;
+            if fate.duplicate {
+                copies = 2;
+            }
+        }
+    }
+    for _ in 0..copies {
+        push_wire(
+            shared,
+            &mut st.pending_wire[dst_node],
+            dst_node,
+            WireMsg::Data {
+                from: node,
+                seq,
+                corrupt,
+                body: body.clone(),
+            },
+        );
+    }
+}
+
+/// Consumes one cumulative acknowledgement from `from`: advances the
+/// watermark, releases retention, fires `lsync` flags for accepted
+/// frames, and cancels the CCBs of rejected GETs.
+fn process_ack(
+    shared: &Shared,
+    st: &mut NodeState,
+    now: Instant,
+    from: usize,
+    upto: u64,
+    rejected: &[u64],
+) {
+    let NodeState { tx, ccbs, .. } = st;
+    let tx = &mut tx[from];
+    if upto <= tx.acked {
+        return;
+    }
+    tx.acked = upto;
+    tx.last_progress = now;
+    while tx.retained.front().is_some_and(|r| r.seq <= upto) {
+        let r = tx.retained.pop_front().expect("front checked above");
+        if rejected.contains(&r.seq) {
+            // Shed at the receiver: the op never happened. No lsync; a
+            // rejected GET's CCB is cancelled.
+            if let Payload::GetReq { token, .. } = r.body {
+                ccbs.remove(&token);
+            }
+        } else if let Some((proc, flag)) = r.lsync {
+            shared.set_flag(proc, flag);
+        }
+    }
+}
+
+/// Applies one in-order, uncorrupted data frame from node `from`.
+fn apply_data(
+    shared: &Shared,
+    st: &mut NodeState,
+    node: usize,
+    now: Instant,
+    from: usize,
+    body: Payload,
+) {
+    match body {
+        Payload::Put {
+            dst,
+            raddr,
+            data,
+            rsync,
+        } => {
+            let dp = &shared.procs[dst as usize];
+            if dp.seg.check(raddr, data.len()) {
+                dp.seg.write(raddr, &data);
+                if let Some(f) = rsync {
+                    shared.set_flag(dst, f);
+                }
+            }
+        }
+        Payload::GetReq {
+            src_asid,
+            dst,
+            raddr,
+            nbytes,
+            token,
+        } => {
+            let dp = &shared.procs[dst as usize];
+            let data = if dp.seg.check(raddr, nbytes as usize) {
+                Some(dp.seg.read(raddr, nbytes as usize))
+            } else {
+                shared.fault(src_asid);
+                None
+            };
+            send_data(
+                shared,
+                st,
+                node,
+                now,
+                from,
+                Payload::GetReply { token, data },
+                None,
+            );
+        }
+        Payload::GetReply { token, data } => {
+            if let Some(ccb) = st.ccbs.remove(&token) {
+                if let Some(data) = data {
+                    let take = (ccb.nbytes as usize).min(data.len());
+                    shared.procs[ccb.proc as usize]
+                        .seg
+                        .write(ccb.laddr, &data[..take]);
+                }
+                if let Some(f) = ccb.lsync {
+                    shared.set_flag(ccb.proc, f);
+                }
+            }
+        }
+        Payload::Enq {
+            dst,
+            rq,
+            data,
+            rsync,
+        } => {
+            // FIFO per queue: anything already owed goes first.
+            if !st.pending_rq.is_empty() {
+                st.pending_rq.push_back(PendingEnq {
+                    dst,
+                    rq,
+                    data,
+                    rsync,
+                });
+                return;
+            }
+            match shared.procs[dst as usize].queues[rq as usize].try_push(data) {
+                Ok(()) => {
                     if let Some(f) = rsync {
                         shared.set_flag(dst, f);
                     }
                 }
-                if let Some((origin, token)) = ack {
-                    self.emit_ack(origin, token);
-                }
-            }
-            WireMsg::GetReq {
-                src_asid,
-                dst,
-                raddr,
-                nbytes,
-                origin,
-                token,
-            } => {
-                let dp = &shared.procs[dst as usize];
-                let data = if dp.seg.check(raddr, nbytes as usize) {
-                    Some(dp.seg.read(raddr, nbytes as usize))
-                } else {
-                    shared.fault(src_asid);
-                    None
-                };
-                self.send_wire(origin, WireMsg::GetReply { token, data });
-            }
-            WireMsg::GetReply { token, data } => {
-                if let Some(Ccb::Get {
-                    proc,
-                    laddr,
-                    nbytes,
-                    lsync,
-                }) = self.ccbs.remove(&token)
-                {
-                    if let Some(data) = data {
-                        let take = (nbytes as usize).min(data.len());
-                        shared.procs[proc as usize].seg.write(laddr, &data[..take]);
-                    }
-                    if let Some(f) = lsync {
-                        shared.set_flag(proc, f);
-                    }
-                }
-            }
-            WireMsg::Enq {
-                dst,
-                rq,
-                data,
-                rsync,
-                ack,
-            } => {
-                // FIFO per queue: anything already stashed goes first.
-                if !self.pending_rq.is_empty() {
-                    self.pending_rq.push_back(WireMsg::Enq {
-                        dst,
-                        rq,
-                        data,
-                        rsync,
-                        ack,
-                    });
-                    return;
-                }
-                match shared.procs[dst as usize].queues[rq as usize].try_push(data) {
-                    Ok(()) => self.finish_enq(dst, rsync, ack),
-                    Err(data) => self.pending_rq.push_back(WireMsg::Enq {
-                        dst,
-                        rq,
-                        data,
-                        rsync,
-                        ack,
-                    }),
-                }
-            }
-            WireMsg::Ack { token } => self.resolve_ack(token),
-            WireMsg::AckBatch { tokens } => {
-                for token in tokens {
-                    self.resolve_ack(token);
-                }
+                Err(data) => st.pending_rq.push_back(PendingEnq {
+                    dst,
+                    rq,
+                    data,
+                    rsync,
+                }),
             }
         }
     }
 }
 
-/// The proxy thread: the Figure 5 loop over real queues and wires.
+/// Handles one inbound wire frame on node `node`.
+fn handle_packet(shared: &Shared, st: &mut NodeState, node: usize, now: Instant, msg: WireMsg) {
+    match msg {
+        WireMsg::Data {
+            from,
+            seq,
+            corrupt,
+            body,
+        } => {
+            let rx = &mut st.rx[from];
+            if seq <= rx.delivered {
+                // Duplicate (injected, or a retransmission racing the
+                // ack): drop it, re-ack so the sender converges.
+                rx.ack_pending = true;
+                return;
+            }
+            if corrupt || seq != rx.delivered + 1 {
+                // Damaged or out of order (a gap means an earlier frame
+                // was dropped): don't deliver, ask for retransmission.
+                rx.nack_pending = true;
+                return;
+            }
+            rx.delivered = seq;
+            rx.ack_pending = true;
+            apply_data(shared, st, node, now, from, body);
+        }
+        WireMsg::AckUpto {
+            from,
+            upto,
+            rejected,
+        } => process_ack(shared, st, now, from, upto, &rejected),
+        WireMsg::Nack { from, .. } => st.tx[from].nack_hint = true,
+        WireMsg::Hello { from, .. } => {
+            // A peer's proxy respawned. Re-ack our watermark so its
+            // retention drains, and retransmit ours immediately — its
+            // wire ring may hold our frames from before the crash, but
+            // timers would cover any gap slowly; the hello bounds the
+            // resync to one round trip.
+            st.rx[from].ack_pending = true;
+            st.tx[from].nack_hint = true;
+        }
+    }
+}
+
+/// Retransmission pass: for every destination with unacknowledged
+/// retention, re-send from the buffer head if a NACK asked for it or the
+/// RTO expired. Frames go straight to the destination ring (never the
+/// pending stash — retransmits are redundant by design; the stash must
+/// stay FIFO-clean for new traffic).
+fn retransmit(shared: &Shared, st: &mut NodeState, node: usize, now: Instant) {
+    let NodeState {
+        tx, pending_wire, ..
+    } = st;
+    for (dst, tx) in tx.iter_mut().enumerate() {
+        if tx.retained.is_empty() {
+            tx.nack_hint = false;
+            continue;
+        }
+        if !pending_wire[dst].is_empty() || shared.condemned[dst].load(Ordering::Relaxed) {
+            continue;
+        }
+        if !tx.nack_hint && now.duration_since(tx.last_progress) < RTO {
+            continue;
+        }
+        tx.nack_hint = false;
+        tx.last_progress = now;
+        let mut pushed = false;
+        'frames: for r in tx.retained.iter().take(RESEND_BURST) {
+            let mut corrupt = false;
+            let mut copies = 1;
+            if let Some(faults) = &shared.faults {
+                if faults.packet_faults_possible() {
+                    let fate = faults.judge(node);
+                    if fate.drop {
+                        continue; // the *retransmit* was dropped; next pass retries
+                    }
+                    corrupt = fate.corrupt;
+                    if fate.duplicate {
+                        copies = 2;
+                    }
+                }
+            }
+            for _ in 0..copies {
+                let frame = WireMsg::Data {
+                    from: node,
+                    seq: r.seq,
+                    corrupt,
+                    body: r.body.clone(),
+                };
+                if shared.wires[dst].try_push(frame).is_err() {
+                    break 'frames;
+                }
+                pushed = true;
+            }
+        }
+        if pushed {
+            shared.parkers[dst].wake();
+        }
+    }
+}
+
+/// Emits the acknowledgement state accumulated this pass: one cumulative
+/// [`WireMsg::AckUpto`] per source that delivered (or was shed) anything,
+/// one [`WireMsg::Nack`] per source that sent a gap or corrupt frame.
+fn flush_acks(shared: &Shared, st: &mut NodeState, node: usize) {
+    let NodeState {
+        rx, pending_wire, ..
+    } = st;
+    for (src, rx) in rx.iter_mut().enumerate() {
+        if rx.ack_pending || !rx.rejected_new.is_empty() {
+            rx.ack_pending = false;
+            let rejected = std::mem::take(&mut rx.rejected_new);
+            push_wire(
+                shared,
+                &mut pending_wire[src],
+                src,
+                WireMsg::AckUpto {
+                    from: node,
+                    upto: rx.delivered,
+                    rejected,
+                },
+            );
+        }
+        if rx.nack_pending {
+            rx.nack_pending = false;
+            push_wire(
+                shared,
+                &mut pending_wire[src],
+                src,
+                WireMsg::Nack {
+                    from: node,
+                    since: rx.delivered,
+                },
+            );
+        }
+    }
+}
+
+/// Decodes and executes one user command on node `node` (protection and
+/// bounds checks, then a sequenced transmission towards the destination).
+fn handle_command(
+    shared: &Shared,
+    st: &mut NodeState,
+    node: usize,
+    now: Instant,
+    src: u32,
+    e: Entry,
+) {
+    let laddr = e.args[0];
+    let dst = (e.args[2] >> 32) as u32;
+    let nbytes = e.args[2] as u32;
+    let (lsync, rsync) = unpack_sync(e.args[3]);
+    if dst as usize >= shared.procs.len() || !shared.allowed(src, dst) {
+        shared.fault(src);
+        return;
+    }
+    let src_proc = &shared.procs[src as usize];
+    match e.op {
+        OP_PUT => {
+            if !src_proc.seg.check(laddr, nbytes as usize) {
+                shared.fault(src);
+                return;
+            }
+            let data = src_proc.seg.read(laddr, nbytes as usize);
+            let raddr = e.args[1];
+            let dst_node = shared.procs[dst as usize].node;
+            send_data(
+                shared,
+                st,
+                node,
+                now,
+                dst_node,
+                Payload::Put {
+                    dst,
+                    raddr,
+                    data,
+                    rsync,
+                },
+                lsync.map(|l| (src, l)),
+            );
+        }
+        OP_GET => {
+            if !src_proc.seg.check(laddr, nbytes as usize) {
+                shared.fault(src);
+                return;
+            }
+            let token = st.next_token;
+            st.next_token += 1;
+            st.ccbs.insert(
+                token,
+                CcbGet {
+                    proc: src,
+                    laddr,
+                    nbytes,
+                    lsync,
+                },
+            );
+            let dst_node = shared.procs[dst as usize].node;
+            send_data(
+                shared,
+                st,
+                node,
+                now,
+                dst_node,
+                Payload::GetReq {
+                    src_asid: src,
+                    dst,
+                    raddr: e.args[1],
+                    nbytes,
+                    token,
+                },
+                None,
+            );
+        }
+        OP_ENQ => {
+            if !src_proc.seg.check(laddr, nbytes as usize) {
+                shared.fault(src);
+                return;
+            }
+            let rq = e.args[1] as u32;
+            if rq as usize >= NUM_QUEUES {
+                shared.fault(src);
+                return;
+            }
+            let data = src_proc.seg.read(laddr, nbytes as usize);
+            let dst_node = shared.procs[dst as usize].node;
+            send_data(
+                shared,
+                st,
+                node,
+                now,
+                dst_node,
+                Payload::Enq {
+                    dst,
+                    rq,
+                    data,
+                    rsync,
+                },
+                lsync.map(|l| (src, l)),
+            );
+        }
+        _ => shared.fault(src),
+    }
+}
+
+/// One incarnation of a node's proxy: takes the node's seat (command
+/// consumers) and protocol state, runs the service loop under
+/// `catch_unwind`, and on panic returns the seat, records the payload,
+/// and raises the panic bit — so a supervisor can respawn a successor
+/// that resumes from the exact same state.
+pub(crate) fn run_proxy(node: usize, shared: Arc<Shared>) {
+    let Some(mut seat) = shared.seats[node]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+    else {
+        return; // a racing incarnation holds the seat; let it serve
+    };
+    let mut guard = shared.node_state[node]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        proxy_main(node, &mut seat, &mut guard, &shared);
+    }));
+    // The guard is dropped here, *outside* any unwinding — the node-state
+    // mutex is never poisoned by a proxy death.
+    drop(guard);
+    *shared.seats[node].lock().unwrap_or_else(|e| e.into_inner()) = Some(seat);
+    if let Err(payload) = result {
+        let reason = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        shared.deaths[node].fetch_add(1, Ordering::Relaxed);
+        *shared.panic_reasons[node]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(reason);
+        if shared.supervision.is_none() || shared.stop.load(Ordering::Relaxed) {
+            // Nobody will respawn this node (no supervisor, or it is
+            // already shutting down): condemn so waits and drains abort.
+            condemn(&shared, node);
+        }
+        // Last: the panic bit is what the supervisor polls, and every
+        // observer must already see the seat, the reason and (possibly)
+        // the condemnation when it flips.
+        shared.panicked[node].store(true, Ordering::Release);
+    }
+}
+
+/// The proxy service loop: the Figure 5 loop over real queues and wires,
+/// plus the reliability layer (retention, acks, retransmission), the
+/// fault injector's time-domain hooks, and condemned-peer purging.
 fn proxy_main(
     node: usize,
-    mut queues: Vec<(u32, spsc::Consumer)>,
-    ready: &AtomicU64,
+    seat: &mut [(u32, spsc::Consumer)],
+    st: &mut NodeState,
     shared: &Shared,
 ) {
-    let _sentinel = PanicSentinel {
-        flag: Arc::clone(&shared.panicked[node]),
-    };
     let parker = &shared.parkers[node];
     parker.register();
+    let ready = &*shared.ready_masks[node];
     let wire_rx = &shared.wires[node];
-    let health = Arc::clone(&shared.health[node]);
-    let mut ctx = ProxyCtx::new(node, shared);
+    let health = &shared.health[node];
     let mut batch: Vec<Entry> = Vec::with_capacity(SERVICE_BURST);
     let mut backoff = Backoff::new();
     let mut legacy_idle_spins = 0u32;
     let mut stop_flush_tries = 0u32;
     loop {
+        let now = Instant::now();
+        // Injected time-domain faults: kills panic right here (the
+        // catch_unwind in run_proxy turns that into a death the
+        // supervisor can see); stalls freeze the loop wholesale.
+        if let Some(faults) = &shared.faults {
+            if faults.has_timed_faults() {
+                let ops = shared.ops_serviced[node].load(Ordering::Relaxed);
+                if let Some(threshold) = faults.kill_due(node, ops) {
+                    panic!("injected kill: node {node} after {threshold} ops");
+                }
+                if let Some(order) = faults.stall_due(node, now.duration_since(shared.started)) {
+                    if order.interruptible {
+                        let _ = crate::idle::sleep_unless(order.remaining, &shared.stop);
+                    } else {
+                        // A wedge: models a proxy stuck in foreign code,
+                        // deaf even to the stop signal.
+                        std::thread::sleep(order.remaining);
+                    }
+                    continue;
+                }
+            }
+        }
+        // Purge traffic towards condemned peers: their rings will never
+        // drain and their acks will never come. Retained GETs cancel
+        // their CCBs; lsyncs never fire (the op is lost, and bounded
+        // waits report it).
+        if shared.any_condemned.load(Ordering::Acquire) {
+            for dst in 0..shared.wires.len() {
+                if dst == node || !shared.condemned[dst].load(Ordering::Relaxed) {
+                    continue;
+                }
+                st.pending_wire[dst].clear();
+                let NodeState { tx, ccbs, .. } = &mut *st;
+                for r in tx[dst].retained.drain(..) {
+                    if let Payload::GetReq { token, .. } = r.body {
+                        ccbs.remove(&token);
+                    }
+                }
+                tx[dst].nack_hint = false;
+            }
+        }
+        // A fresh incarnation owes its peers a Hello (and owes itself a
+        // retransmission pass — peers may have acked frames the wire
+        // lost while the node was down).
+        if st.hello_pending {
+            st.hello_pending = false;
+            let epoch = st.epoch;
+            for dst in 0..shared.wires.len() {
+                if dst == node {
+                    continue;
+                }
+                st.tx[dst].nack_hint = true;
+                if shared.condemned[dst].load(Ordering::Relaxed) {
+                    continue;
+                }
+                push_wire(
+                    shared,
+                    &mut st.pending_wire[dst],
+                    dst,
+                    WireMsg::Hello { from: node, epoch },
+                );
+            }
+        }
         let mut progressed = false;
-        let service_start = Instant::now();
         // Stashed outbound packets go first: per-destination FIFO.
-        progressed |= ctx.flush_pending();
+        progressed |= flush_pending(shared, st);
         // User command queues: consult the ready-bit vector, then drain a
         // burst per queue. While the outbound stash is deep the drain
         // pauses (bits stay set), so the bounded command rings
         // backpressure users and per-node occupancy stays bounded.
-        if ctx.backlogged() < PENDING_CAP {
+        if st.backlogged() < PENDING_CAP {
             let mask = ready.swap(0, Ordering::Acquire);
             if mask != 0 {
-                for (qi, (src, q)) in queues.iter_mut().enumerate() {
+                for (qi, (src, q)) in seat.iter_mut().enumerate() {
                     if mask & (1 << qi) == 0 {
                         continue;
                     }
                     let taken = q.pop_burst(&mut batch, SERVICE_BURST);
                     let src = *src;
                     for e in batch.drain(..) {
-                        ctx.handle_command(src, e);
+                        handle_command(shared, st, node, now, src, e);
                     }
                     if taken > 0 {
                         shared.ops_serviced[node].fetch_add(taken as u64, Ordering::Relaxed);
@@ -1356,30 +2020,45 @@ fn proxy_main(
                 }
             }
         }
-        // Overload control: a saturated proxy sheds its oldest request
-        // packets (never responses or acks) before servicing the rest.
-        if shared.shed_enabled.load(Ordering::Relaxed) && health.saturated.load(Ordering::Acquire) {
-            let dropped = match wire_rx {
-                Wire::Locked(fifo) => shed_excess(fifo, SHED_BACKLOG),
-                Wire::Ring(ring) => {
-                    // Pop-time shedding: drain the overflow, dropping
-                    // requests and servicing the exempt packets.
-                    let mut dropped = 0u64;
-                    while ring.len() > SHED_BACKLOG {
-                        let Some(msg) = ring.try_pop() else { break };
-                        if msg.is_request() {
-                            dropped += 1;
+        // Overload control: a saturated proxy rejects the oldest request
+        // frames over the backlog cap. Rejection *advances the delivered
+        // watermark* and reports the sequence on the next ack, so the
+        // sender unretains without firing lsync — "acked ⇒ applied
+        // exactly once" survives shedding. Control frames and responses
+        // are serviced normally even over the cap.
+        if shared.shed_enabled.load(Ordering::Relaxed) && health.saturated.load(Ordering::Acquire)
+        {
+            let mut rejected = 0u64;
+            while wire_rx.len() > SHED_BACKLOG {
+                let Some(msg) = wire_rx.pop() else { break };
+                match msg {
+                    WireMsg::Data {
+                        from,
+                        seq,
+                        corrupt,
+                        body,
+                    } if body.is_request() => {
+                        let rx = &mut st.rx[from];
+                        if seq <= rx.delivered {
+                            rx.ack_pending = true; // duplicate of old news
+                        } else if !corrupt && seq == rx.delivered + 1 {
+                            rx.delivered = seq;
+                            rx.rejected_new.push(seq);
+                            rx.ack_pending = true;
+                            rejected += 1;
                         } else {
-                            ctx.handle_packet(msg);
-                            shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
-                            progressed = true;
+                            rx.nack_pending = true;
                         }
                     }
-                    dropped
+                    other => {
+                        handle_packet(shared, st, node, now, other);
+                        shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
+                        progressed = true;
+                    }
                 }
-            };
-            if dropped > 0 {
-                health.shed.fetch_add(dropped, Ordering::Relaxed);
+            }
+            if rejected > 0 {
+                health.shed.fetch_add(rejected, Ordering::Relaxed);
                 progressed = true;
             }
         }
@@ -1389,19 +2068,23 @@ fn proxy_main(
         let mut burst = 0;
         while burst < SERVICE_BURST {
             let Some(msg) = wire_rx.pop() else { break };
-            ctx.handle_packet(msg);
+            handle_packet(shared, st, node, now, msg);
             shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
             progressed = true;
             burst += 1;
         }
-        // One coalesced ACK packet per peer per batch.
-        ctx.flush_acks();
+        // Reliability upkeep: retransmit overdue retention, then emit the
+        // acks and nacks this pass accumulated. Neither counts as
+        // progress — an idle-but-unacked sender must still reach the
+        // park below (its 1 ms timeout doubles as the retransmit clock).
+        retransmit(shared, st, node, now);
+        flush_acks(shared, st, node);
         if progressed {
             // Busy time feeds the watchdog's utilisation samples; idle
             // polling scans are charged to nobody, exactly like the
             // simulator's per-node busy counter.
             health.busy_ns.fetch_add(
-                u64::try_from(service_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                u64::try_from(now.elapsed().as_nanos()).unwrap_or(u64::MAX),
                 Ordering::Relaxed,
             );
             backoff.reset();
@@ -1411,14 +2094,24 @@ fn proxy_main(
         }
         if shared.stop.load(Ordering::Relaxed) {
             // Final drain pass (ready bits may have raced with stop).
-            let drained = queues.iter_mut().all(|(_, q)| !q.is_ready());
+            let drained = seat.iter_mut().all(|(_, q)| !q.is_ready());
             if drained && wire_rx.is_empty() {
-                if ctx.outbox_empty() {
+                // Exit only once nothing is owed: no stashed output, and
+                // no unacknowledged frames towards live peers (their
+                // acks are what release our retention — and our lsyncs).
+                let unacked = st
+                    .tx
+                    .iter()
+                    .enumerate()
+                    .any(|(d, tx)| {
+                        !tx.retained.is_empty() && !shared.condemned[d].load(Ordering::Relaxed)
+                    });
+                if st.outbox_empty() && !unacked {
                     break;
                 }
-                // A peer's ring is full and may never drain (its proxy
-                // may already be gone); bounded retries, then the
-                // undeliverable in-flight packets are dropped.
+                // A peer may be gone without condemnation (or its ring
+                // is full forever): bounded retries, then in-flight
+                // traffic is abandoned — lossy at shutdown by contract.
                 stop_flush_tries += 1;
                 if stop_flush_tries > STOP_FLUSH_TRIES {
                     break;
@@ -1443,8 +2136,10 @@ fn proxy_main(
         }
         // Idle: escalate spin → yield → park. Parking is gated on an
         // empty outbound stash (stashed packets wait on a peer's ring,
-        // which sends no wake when space frees up).
-        if backoff.is_parkable() && ctx.outbox_empty() {
+        // which sends no wake when space frees up). Unacknowledged
+        // retention does *not* block parking: the bounded park timeout
+        // re-probes often enough to serve as the RTO clock.
+        if backoff.is_parkable() && st.outbox_empty() {
             parker.prepare_park();
             if ready.load(Ordering::SeqCst) != 0
                 || !wire_rx.is_empty()
@@ -1461,29 +2156,6 @@ fn proxy_main(
     }
 }
 
-/// Drops the oldest *request* packets from `fifo` until at most `cap`
-/// remain, returning how many were shed (the locked baseline's shed
-/// path). Works in place — retained packets are never reallocated or
-/// copied into a fresh queue.
-fn shed_excess(fifo: &PolledFifo<WireMsg>, cap: usize) -> u64 {
-    let mut q = fifo.lock();
-    let mut to_shed = q.len().saturating_sub(cap);
-    if to_shed == 0 {
-        return 0;
-    }
-    let mut shed = 0u64;
-    q.retain(|m| {
-        if to_shed > 0 && m.is_request() {
-            to_shed -= 1;
-            shed += 1;
-            false
-        } else {
-            true
-        }
-    });
-    shed
-}
-
 /// The overload watchdog: every `interval` it turns each proxy's busy-time
 /// delta into a utilisation sample and applies the paper's §5.4 stability
 /// rule — a proxy above [`STABLE_UTILIZATION`] has unbounded expected
@@ -1494,8 +2166,7 @@ fn watchdog_main(shared: &Shared, interval: Duration) {
     let mut prev_busy = vec![0u64; nodes];
     let mut warned = vec![false; nodes];
     let mut prev_t = Instant::now();
-    while !shared.stop.load(Ordering::Relaxed) {
-        std::thread::sleep(interval);
+    while crate::idle::sleep_unless(interval, &shared.stop) {
         let now = Instant::now();
         let wall_ns = now.duration_since(prev_t).as_nanos();
         if wall_ns == 0 {

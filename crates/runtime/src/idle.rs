@@ -20,10 +20,36 @@
 //! a parked proxy accrues no busy time *and* no longer burns a host CPU
 //! converting idleness into scheduler noise.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Mutex;
 use std::thread::Thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Chunk length for [`sleep_unless`] — the longest an interruptible
+/// sleeper can overshoot the abort signal.
+const SLEEP_CHUNK: Duration = Duration::from_micros(200);
+
+/// Sleeps for `dur` in small chunks, aborting early once `abort` reads
+/// true. Returns `true` if the full duration elapsed, `false` on abort.
+/// Used by every long runtime sleep that must still honour the cluster
+/// stop signal: the supervisor's restart backoff, interruptible injected
+/// stalls, the watchdog's sampling period — so none of them can wedge
+/// shutdown for longer than one chunk.
+pub fn sleep_unless(dur: Duration, abort: &AtomicBool) -> bool {
+    let deadline = Instant::now() + dur;
+    loop {
+        if abort.load(Ordering::Relaxed) {
+            return false;
+        }
+        let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+            return true;
+        };
+        if left.is_zero() {
+            return true;
+        }
+        std::thread::sleep(left.min(SLEEP_CHUNK));
+    }
+}
 
 /// Spin-phase length: `2^0 + 2^1 + ... + 2^SPIN_LIMIT` pause
 /// instructions before the first yield.
@@ -152,7 +178,6 @@ impl Parker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
 
     #[test]
@@ -188,6 +213,16 @@ mod tests {
         flag.store(true, Ordering::SeqCst);
         parker.wake();
         consumer.join().unwrap();
+    }
+
+    #[test]
+    fn sleep_unless_completes_and_aborts() {
+        let abort = AtomicBool::new(false);
+        assert!(sleep_unless(Duration::from_millis(1), &abort));
+        abort.store(true, Ordering::Relaxed);
+        let t0 = Instant::now();
+        assert!(!sleep_unless(Duration::from_secs(30), &abort));
+        assert!(t0.elapsed() < Duration::from_secs(5), "abort ignored");
     }
 
     #[test]

@@ -27,7 +27,21 @@
 //!   flagging violations of the paper's §5.4 stability rule (a proxy past
 //!   50% utilisation has unbounded expected queueing delay), with
 //!   opt-in request shedding
-//!   ([`RtClusterBuilder::enable_shedding`]).
+//!   ([`RtClusterBuilder::enable_shedding`]);
+//! * a sequenced, acknowledged **wire layer** between proxies (go-back-N
+//!   with cumulative acks and sender-side retention) making "an op whose
+//!   `lsync` fired was applied exactly once" hold under packet loss,
+//!   duplication, corruption, shedding, and proxy crashes;
+//! * [`fault`] — a seeded **fault injector**
+//!   ([`RtClusterBuilder::fault_plan`]): per-packet drop / duplicate /
+//!   corrupt verdicts plus injected proxy stalls and kills, sharing its
+//!   deterministic fate core with the simulator's `simnet::FaultPlan`;
+//! * proxy **supervision** ([`RtClusterBuilder::supervise`]): a dead
+//!   proxy is respawned on a fresh epoch against the node's surviving
+//!   protocol state, under a restart budget with exponential backoff;
+//!   crash-looping nodes are *condemned* and reported through
+//!   [`RtError::ProxyDown`] and the deadline-bounded
+//!   [`RtCluster::shutdown`]'s [`ShutdownReport`].
 //!
 //! # Examples
 //!
@@ -55,15 +69,18 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod fault;
 pub mod idle;
 mod mem;
 pub mod ring;
 pub mod spsc;
+mod supervisor;
 
 pub use cluster::{
-    Endpoint, FlagId, RqId, RtCluster, RtClusterBuilder, RtError, ShutdownReport, CMDQ_DEPTH,
-    NUM_FLAGS, NUM_QUEUES, RECOVERY_UTILIZATION, RQ_DEPTH, SHED_BACKLOG, WIRE_DEPTH,
+    Endpoint, FlagId, ProxyPanic, RqId, RtCluster, RtClusterBuilder, RtError, ShutdownReport,
+    CMDQ_DEPTH, NUM_FLAGS, NUM_QUEUES, RECOVERY_UTILIZATION, RQ_DEPTH, SHED_BACKLOG, WIRE_DEPTH,
 };
+pub use fault::{RtFaultCounts, RtFaultPlan, RtKill, RtStall};
 pub use mem::Segment;
 
 #[cfg(test)]

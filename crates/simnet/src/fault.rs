@@ -12,9 +12,18 @@
 //! The layer above (the reliable-delivery protocol in `mproxy`) is
 //! responsible for masking these faults; this module only injects them
 //! and counts what it injected.
+//!
+//! The seeded fate-decision core (the PRNG, the per-packet Bernoulli
+//! draw, probability and window validation) lives in
+//! [`mproxy_model::fate`] and is shared with the native runtime's
+//! injector, so a plan means the same thing in simulation and on real
+//! threads.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+
+use mproxy_model::fate::{check_probability, windows_overlap, PacketFates, SplitMix64};
+pub use mproxy_model::fate::Fate;
 
 use crate::NodeId;
 
@@ -89,16 +98,6 @@ pub struct FaultPlan {
     pub crashes: Vec<CrashWindow>,
 }
 
-/// True if `[s1, e1)` and `[s2, e2)` share any instant.
-fn windows_overlap(s1: f64, e1: f64, s2: f64, e2: f64) -> bool {
-    s1 < e2 && s2 < e1
-}
-
-fn check_p(p: f64, what: &str) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "{what} probability {p} not in [0, 1]");
-    p
-}
-
 impl FaultPlan {
     /// A plan with the given seed and no faults.
     #[must_use]
@@ -122,7 +121,7 @@ impl FaultPlan {
     /// Panics if `p` is outside `[0, 1]`.
     #[must_use]
     pub fn drop(mut self, p: f64) -> FaultPlan {
-        self.drop_p = check_p(p, "drop");
+        self.drop_p = check_probability(p, "drop");
         self
     }
 
@@ -133,7 +132,7 @@ impl FaultPlan {
     /// Panics if `p` is outside `[0, 1]`.
     #[must_use]
     pub fn duplicate(mut self, p: f64) -> FaultPlan {
-        self.dup_p = check_p(p, "duplicate");
+        self.dup_p = check_probability(p, "duplicate");
         self
     }
 
@@ -146,7 +145,7 @@ impl FaultPlan {
     /// non-finite.
     #[must_use]
     pub fn reorder(mut self, p: f64, extra_us: f64) -> FaultPlan {
-        self.reorder_p = check_p(p, "reorder");
+        self.reorder_p = check_probability(p, "reorder");
         assert!(
             extra_us.is_finite() && extra_us >= 0.0,
             "reorder delay must be finite and >= 0"
@@ -162,7 +161,7 @@ impl FaultPlan {
     /// Panics if `p` is outside `[0, 1]`.
     #[must_use]
     pub fn corrupt(mut self, p: f64) -> FaultPlan {
-        self.corrupt_p = check_p(p, "corrupt");
+        self.corrupt_p = check_probability(p, "corrupt");
         self
     }
 
@@ -237,28 +236,21 @@ impl FaultPlan {
     /// crashes.
     #[must_use]
     pub fn is_benign(&self) -> bool {
-        self.drop_p == 0.0
-            && self.dup_p == 0.0
-            && self.reorder_p == 0.0
-            && self.corrupt_p == 0.0
-            && self.stalls.is_empty()
-            && self.crashes.is_empty()
+        self.packet_fates().is_benign() && self.stalls.is_empty() && self.crashes.is_empty()
     }
-}
 
-/// The fate the plan assigns one transmitted packet.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct Fate {
-    /// The packet is lost (nothing is delivered).
-    pub drop: bool,
-    /// A second copy is delivered after the first.
-    pub duplicate: bool,
-    /// The delivered payload is flagged corrupted.
-    pub corrupt: bool,
-    /// Extra transit delay for the primary copy, µs (reordering).
-    pub extra_us: f64,
-    /// Extra transit delay for the duplicate copy, µs.
-    pub dup_extra_us: f64,
+    /// The plan's per-packet Bernoulli specification, in the shared
+    /// fate-core representation.
+    #[must_use]
+    pub fn packet_fates(&self) -> PacketFates {
+        PacketFates {
+            drop_p: self.drop_p,
+            dup_p: self.dup_p,
+            reorder_p: self.reorder_p,
+            corrupt_p: self.corrupt_p,
+            reorder_extra_us: self.reorder_extra_us,
+        }
+    }
 }
 
 /// Counters of injected faults, for reports.
@@ -274,31 +266,6 @@ pub struct FaultCounts {
     pub reordered: u64,
     /// Packets delivered with a corrupted payload.
     pub corrupted: u64,
-}
-
-/// SplitMix64 — tiny seeded generator with a well-distributed stream.
-#[derive(Debug)]
-struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `[0, 1)`.
-    fn unit(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
 }
 
 /// Live per-run fault state: the plan, its PRNG, and injection counters.
@@ -339,34 +306,14 @@ impl FaultState {
         &self.plan
     }
 
-    /// Judges one packet. Always draws the same number of variates, so the
-    /// stream position depends only on how many packets were judged.
+    /// Judges one packet via the shared fate core. The core always draws
+    /// the same number of variates, so the stream position depends only
+    /// on how many packets were judged.
     pub fn judge(&self) -> Fate {
-        let mut rng = self.rng.borrow_mut();
-        let (d, dup, re, co, jitter) = (
-            rng.unit(),
-            rng.unit(),
-            rng.unit(),
-            rng.unit(),
-            rng.unit(),
-        );
-        drop(rng);
-        let p = &self.plan;
-        let reordered = re < p.reorder_p;
-        let extra_us = if reordered {
-            p.reorder_extra_us * (0.25 + jitter)
-        } else {
-            0.0
-        };
-        let fate = Fate {
-            drop: d < p.drop_p,
-            duplicate: dup < p.dup_p,
-            corrupt: co < p.corrupt_p,
-            extra_us,
-            // The duplicate trails the primary by a fixed µs so it is a
-            // genuine duplicate-in-flight rather than a simultaneous twin.
-            dup_extra_us: extra_us + 1.0,
-        };
+        let fate = self
+            .plan
+            .packet_fates()
+            .judge(&mut self.rng.borrow_mut());
         self.packets.set(self.packets.get() + 1);
         if fate.drop {
             self.dropped.set(self.dropped.get() + 1);
@@ -375,7 +322,7 @@ impl FaultState {
             if fate.duplicate {
                 self.duplicated.set(self.duplicated.get() + 1);
             }
-            if reordered {
+            if fate.reordered() {
                 self.reordered.set(self.reordered.get() + 1);
             }
             if fate.corrupt {
