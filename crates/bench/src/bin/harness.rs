@@ -173,7 +173,7 @@ fn main() -> ExitCode {
     let _ = writeln!(after, "    }}");
     let _ = write!(after, "  }}");
 
-    let mut doc = String::from("{\n  \"schema\": 1,\n");
+    let mut doc = format!("{{\n{}", reports::bench_header_json(Some(reports::SWEEP_SEED)));
     if let Some(path) = &args.before {
         match std::fs::read_to_string(path) {
             Ok(prev) => match (

@@ -45,7 +45,10 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn json_doc(sweep: &OverloadSweep, mode: &str) -> String {
-    let mut doc = String::from("{\n  \"schema\": 1,\n");
+    let mut doc = format!(
+        "{{\n{}",
+        mproxy_bench::reports::bench_header_json(Some(OVERLOAD_SEED))
+    );
     let _ = writeln!(doc, "  \"workload\": \"mp1_overload_put_mix\",");
     let _ = writeln!(doc, "  \"mode\": \"{mode}\",");
     let _ = writeln!(doc, "  \"seed\": {OVERLOAD_SEED},");

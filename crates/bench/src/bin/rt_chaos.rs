@@ -67,16 +67,13 @@ fn scenario_json(r: &ScenarioResult) -> String {
         r.name, r.seed, r.passed, r.acked_ops, r.deaths, r.restarts, r.max_ack_wait_ms
     );
     if !r.failure.is_empty() {
-        let esc: String = r
-            .failure
-            .chars()
-            .map(|c| match c {
-                '"' => '\u{2033}', // keep the hand-rolled JSON trivially valid
-                '\n' => ' ',
-                c => c,
-            })
-            .collect();
-        let _ = write!(s, ", \"failure\": \"{esc}\"");
+        let _ = write!(s, ", \"failure\": \"{}\"", mproxy_obs::json::esc(&r.failure));
+    }
+    if !r.shutdown_json.is_empty() {
+        let _ = write!(s, ",\n      \"shutdown\": {}", r.shutdown_json);
+    }
+    if let Some(obs) = &r.obs {
+        let _ = write!(s, ",\n      \"obs\": {}", obs.to_json());
     }
     let _ = write!(s, " }}");
     s
@@ -143,7 +140,7 @@ fn main() -> ExitCode {
     );
 
     if !args.check {
-        let mut doc = String::from("{\n  \"schema\": 1,\n");
+        let mut doc = format!("{{\n{}", mproxy_bench::reports::bench_header_json(None));
         let _ = writeln!(doc, "  \"label\": \"{}\",", args.label);
         let _ = writeln!(doc, "  \"mode\": \"{mode}\",");
         let _ = writeln!(doc, "  \"scenarios\": {total},");

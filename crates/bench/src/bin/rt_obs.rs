@@ -1,0 +1,275 @@
+//! Observability overhead gate + Perfetto-export smoke for the threaded
+//! runtime. Two jobs, both feeding `BENCH_obs.json`:
+//!
+//! 1. **A/B overhead** — runs the `rt_throughput` workloads (fan-in,
+//!    ping-pong) with telemetry recording *off* and *on* (counters stay
+//!    on either way — they are the always-on tier) and reports the
+//!    throughput delta. The `--check` gate fails if recording costs more
+//!    than [`OVERHEAD_GATE_PCT`] on either workload's best-of-N.
+//! 2. **Chaos trace** — a mini kill-and-respawn fan-in with recording
+//!    armed, exported through the Chrome `trace_event` renderer. The
+//!    document must be valid JSON and must contain at least one
+//!    kill → respawn → resync recovery span.
+//!
+//! ```text
+//! rt_obs [--quick] [--check] [--label STR] [--out PATH] [--trace PATH]
+//! ```
+//!
+//! * `--quick`  lighter loads, fewer repetitions (CI smoke).
+//! * `--check`  gate mode: suppress the JSON document, exit non-zero on
+//!   an overhead or trace violation.
+//! * `--out`    write `BENCH_obs.json` to PATH (default: stdout).
+//! * `--trace`  also write the full Perfetto trace document to PATH.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mproxy_bench::rt::{fan_in_cfg, ping_pong_cfg};
+use mproxy_obs::{chrome, json, Snapshot};
+use mproxy_rt::{FlagId, RqId, RtClusterBuilder, RtFaultPlan};
+
+/// Maximum tolerated throughput cost of armed telemetry, percent.
+const OVERHEAD_GATE_PCT: f64 = 5.0;
+/// Give-up bound for the chaos scenario's waits.
+const WAIT: Duration = Duration::from_secs(120);
+
+struct Args {
+    quick: bool,
+    check: bool,
+    label: String,
+    out: Option<String>,
+    trace: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        check: false,
+        label: "current".to_string(),
+        out: None,
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--check" => args.check = true,
+            "--label" => args.label = value("--label")?,
+            "--out" => args.out = Some(value("--out")?),
+            "--trace" => args.trace = Some(value("--trace")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One workload's A/B verdict (throughputs are best-of-N).
+struct Overhead {
+    name: &'static str,
+    off_per_sec: f64,
+    on_per_sec: f64,
+}
+
+impl Overhead {
+    /// Positive when armed telemetry is slower.
+    fn pct(&self) -> f64 {
+        if self.off_per_sec <= 0.0 {
+            return 0.0;
+        }
+        (self.off_per_sec - self.on_per_sec) / self.off_per_sec * 100.0
+    }
+}
+
+/// Best-of-`reps` A/B: one discarded warm-up, then rep pairs whose
+/// off/on order alternates so host drift and scheduler position bias hit
+/// both sides equally. Best-of (not mean) is the right statistic here —
+/// the fastest run is the one with the least outside interference, and
+/// on a small host (CI is often one core) interference dwarfs the effect
+/// being measured.
+fn best_ab(name: &'static str, reps: usize, run: impl Fn(bool) -> f64) -> Overhead {
+    let _ = run(false);
+    let (mut off, mut on) = (0.0f64, 0.0f64);
+    for r in 0..reps {
+        if r % 2 == 0 {
+            off = off.max(run(false));
+            on = on.max(run(true));
+        } else {
+            on = on.max(run(true));
+            off = off.max(run(false));
+        }
+    }
+    Overhead {
+        name,
+        off_per_sec: off,
+        on_per_sec: on,
+    }
+}
+
+/// Mini chaos run with recording armed: two senders enqueue
+/// lsync-acknowledged ops at a sink whose proxy is killed and respawned
+/// mid-stream. Returns the Perfetto trace document and the post-shutdown
+/// telemetry snapshot.
+fn chaos_trace(per_sender: u64) -> (String, Snapshot) {
+    const SENDERS: usize = 2;
+    let mut b = RtClusterBuilder::new(SENDERS + 1);
+    b.telemetry(true);
+    let sink_asid = b.add_process(0, 1 << 16);
+    let src_asids: Vec<u32> = (1..=SENDERS).map(|n| b.add_process(n, 1 << 16)).collect();
+    b.fault_plan(RtFaultPlan::new(7).kill(0, per_sender / 2));
+    b.supervise(3, Duration::from_millis(1));
+    let (cluster, mut eps) = b.start();
+    let src_eps = eps.split_off(1);
+    drop(eps.pop());
+
+    let handles: Vec<_> = src_eps
+        .into_iter()
+        .zip(src_asids)
+        .map(|(mut e, asid)| {
+            std::thread::spawn(move || {
+                for i in 1..=per_sender {
+                    e.seg().write_u64(0, (u64::from(asid) << 32) | i);
+                    e.enq(0, sink_asid, RqId(0), 8, Some(FlagId(0)), None);
+                    e.wait_flag_timeout(FlagId(0), i, WAIT).expect("ack wait");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("sender thread");
+    }
+    let hub = cluster.obs_handle();
+    cluster.shutdown();
+    let trace = chrome::chrome_trace(&hub.trace_dump());
+    let snap = hub.snapshot("obs_chaos");
+    (trace, snap)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rt_obs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (fan_msgs, pp_rounds, reps, chaos_per_sender) = if args.quick {
+        (3_000, 2_000, 4, 60)
+    } else {
+        (10_000, 5_000, 6, 120)
+    };
+    let mode = if args.quick { "quick" } else { "full" };
+
+    let fan = |telemetry: bool| fan_in_cfg(false, 4, fan_msgs, telemetry).msgs_per_sec;
+    let pp =
+        |telemetry: bool| pp_rounds as f64 / ping_pong_cfg(false, pp_rounds, telemetry).wall_s;
+    let mut workloads = [
+        best_ab("fan_in", reps, fan),
+        best_ab("ping_pong", reps, pp),
+    ];
+    // Rescue round: a workload over the gate gets one more set of reps
+    // merged in before the verdict — still best-of, just more samples
+    // where it matters, so one noisy burst on a shared host can't fail
+    // the gate on its own.
+    for w in &mut workloads {
+        if w.pct() <= OVERHEAD_GATE_PCT {
+            continue;
+        }
+        let retry = match w.name {
+            "fan_in" => best_ab(w.name, reps, fan),
+            _ => best_ab(w.name, reps, pp),
+        };
+        w.off_per_sec = w.off_per_sec.max(retry.off_per_sec);
+        w.on_per_sec = w.on_per_sec.max(retry.on_per_sec);
+    }
+    for w in &workloads {
+        eprintln!(
+            "rt_obs: {:<10} off {:>12.0}/s  on {:>12.0}/s  overhead {:+.2}%",
+            w.name,
+            w.off_per_sec,
+            w.on_per_sec,
+            w.pct()
+        );
+    }
+
+    let (trace, snap) = chaos_trace(chaos_per_sender);
+    let trace_valid = json::validate(&trace).is_ok();
+    let recovery = chrome::has_recovery_span(&trace);
+    let trace_events = trace.matches("\"ph\":").count();
+    eprintln!(
+        "rt_obs: chaos trace {} bytes, {trace_events} events, valid_json={trace_valid}, \
+         recovery_span={recovery}",
+        trace.len()
+    );
+    if let Some(path) = &args.trace {
+        if let Err(e) = std::fs::write(path, &trace) {
+            eprintln!("rt_obs: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rt_obs: wrote {path}");
+    }
+
+    if !args.check {
+        let mut doc = format!("{{\n{}", mproxy_bench::reports::bench_header_json(None));
+        let _ = writeln!(doc, "  \"label\": \"{}\",", args.label);
+        let _ = writeln!(doc, "  \"mode\": \"{mode}\",");
+        let _ = writeln!(doc, "  \"overhead_gate_pct\": {OVERHEAD_GATE_PCT},");
+        let _ = writeln!(doc, "  \"workloads\": [");
+        for (i, w) in workloads.iter().enumerate() {
+            let sep = if i + 1 < workloads.len() { "," } else { "" };
+            let _ = writeln!(
+                doc,
+                "    {{ \"name\": \"{}\", \"off_per_sec\": {:.1}, \"on_per_sec\": {:.1}, \
+                 \"overhead_pct\": {:.3} }}{sep}",
+                w.name,
+                w.off_per_sec,
+                w.on_per_sec,
+                w.pct()
+            );
+        }
+        let _ = writeln!(doc, "  ],");
+        let _ = writeln!(
+            doc,
+            "  \"chaos_trace\": {{ \"valid_json\": {trace_valid}, \"recovery_span\": \
+             {recovery}, \"events\": {trace_events}, \"bytes\": {} }},",
+            trace.len()
+        );
+        let _ = writeln!(doc, "  \"snapshot\": {}", snap.to_json());
+        doc.push_str("}\n");
+        match &args.out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &doc) {
+                    eprintln!("rt_obs: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("rt_obs: wrote {path}");
+            }
+            None => print!("{doc}"),
+        }
+    }
+
+    let mut failed = false;
+    for w in &workloads {
+        if w.pct() > OVERHEAD_GATE_PCT {
+            eprintln!(
+                "rt_obs: GATE FAILURE: {} telemetry overhead {:.2}% > {OVERHEAD_GATE_PCT}%",
+                w.name,
+                w.pct()
+            );
+            failed = true;
+        }
+    }
+    if !trace_valid {
+        eprintln!("rt_obs: GATE FAILURE: chaos trace is not valid JSON");
+        failed = true;
+    }
+    if !recovery {
+        eprintln!("rt_obs: GATE FAILURE: chaos trace has no kill→respawn→resync span");
+        failed = true;
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -133,7 +133,10 @@ fn main() -> ExitCode {
     };
     let locked = run_plane("locked baseline", true, pp_rounds, fi_msgs);
 
-    let mut doc = String::from("{\n  \"schema\": 1,\n  \"after\": {\n");
+    let mut doc = format!(
+        "{{\n{}  \"after\": {{\n",
+        mproxy_bench::reports::bench_header_json(None)
+    );
     let _ = writeln!(doc, "    \"label\": \"{}\",", args.label);
     let _ = writeln!(doc, "    \"mode\": \"{mode}\",");
     if let Some((pp, fi)) = &lockfree {

@@ -19,6 +19,7 @@
 
 use std::time::{Duration, Instant};
 
+use mproxy_obs::{Ctr, Snapshot};
 use mproxy_rt::{FlagId, RqId, RtClusterBuilder, RtFaultPlan};
 
 /// Per-acknowledgement bound: recovery (respawn + resync + retransmit)
@@ -45,6 +46,10 @@ pub struct ScenarioResult {
     pub max_ack_wait_ms: f64,
     /// Human-readable failure description, empty when `passed`.
     pub failure: String,
+    /// The cluster's [`mproxy_rt::ShutdownReport`] as stable JSON.
+    pub shutdown_json: String,
+    /// Post-shutdown telemetry snapshot (exact: every proxy has exited).
+    pub obs: Option<Snapshot>,
 }
 
 impl ScenarioResult {
@@ -111,6 +116,28 @@ fn check_exactly_once(got: &[u64], senders: &[u32], per_sender: u64) -> Result<(
     Ok(())
 }
 
+/// Telemetry-vs-truth: on a post-shutdown snapshot every popped data
+/// frame sits in exactly one outcome bucket, so per receiver
+/// `msgs_in == applied + dedup_drops + damaged_drops + sheds` must hold
+/// exactly — the counters' version of the tagged-payload exactly-once
+/// check.
+pub fn telemetry_truth(snap: &Snapshot) -> Result<(), String> {
+    for sc in &snap.scopes {
+        let msgs_in = sc.counter(Ctr::MsgsIn);
+        let accounted = sc.counter(Ctr::OpsApplied)
+            + sc.counter(Ctr::DedupDrops)
+            + sc.counter(Ctr::DamagedDrops)
+            + sc.counter(Ctr::Sheds);
+        if msgs_in != accounted {
+            return Err(format!(
+                "{}: msgs_in {msgs_in} != applied+dedup+damaged+shed {accounted}",
+                sc.name
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Drains `rq` on `sink` until `expect` payloads arrived or the deadline
 /// passes.
 fn drain_u64s(sink: &mproxy_rt::Endpoint, rq: RqId, expect: usize) -> Result<Vec<u64>, String> {
@@ -156,6 +183,8 @@ fn kill_fan_in(
         restarts: 0,
         max_ack_wait_ms: 0.0,
         failure: String::new(),
+        shutdown_json: String::new(),
+        obs: None,
     };
     let mut b = RtClusterBuilder::new(senders + 1);
     let sink_asid = b.add_process(0, 1 << 16);
@@ -211,10 +240,32 @@ fn kill_fan_in(
     if result.passed && result.deaths == 0 {
         result = result.fail(format!("injected kill on node {victim} never fired"));
     }
+    let hub = cluster.obs_handle();
     let report = cluster.shutdown();
+    result.shutdown_json = report.to_json();
     if result.passed && !report.clean() {
         result = result.fail(format!("unclean shutdown: {report:?}"));
     }
+    let snap = hub.snapshot(&result.name);
+    if result.passed {
+        if let Err(why) = telemetry_truth(&snap) {
+            result = result.fail(format!("telemetry vs truth: {why}"));
+        }
+        // The sink's applied-op counter must agree with the tagged
+        // payloads the exactly-once checker verified, across kills.
+        let want = senders as u64 * per_sender;
+        let applied = snap
+            .scopes
+            .iter()
+            .find(|sc| sc.name == "node0")
+            .map_or(0, |sc| sc.counter(Ctr::OpsApplied));
+        if applied != want {
+            result = result.fail(format!(
+                "sink ops_applied {applied} != {want} verified deliveries"
+            ));
+        }
+    }
+    result.obs = Some(snap);
     result
 }
 
@@ -243,6 +294,8 @@ pub fn corrupt_under_load(seed: u64, msgs: u64) -> ScenarioResult {
         restarts: 0,
         max_ack_wait_ms: 0.0,
         failure: String::new(),
+        shutdown_json: String::new(),
+        obs: None,
     };
     let mut b = RtClusterBuilder::new(2);
     let _p0 = b.add_process(0, 1 << 16);
@@ -283,10 +336,19 @@ pub fn corrupt_under_load(seed: u64, msgs: u64) -> ScenarioResult {
     if result.passed && (counts.dropped == 0 || counts.duplicated == 0 || counts.corrupted == 0) {
         result = result.fail(format!("injector idle under load: {counts:?}"));
     }
+    let hub = cluster.obs_handle();
     let report = cluster.shutdown();
+    result.shutdown_json = report.to_json();
     if result.passed && !report.clean() {
         result = result.fail(format!("unclean shutdown: {report:?}"));
     }
+    let snap = hub.snapshot(&result.name);
+    if result.passed {
+        if let Err(why) = telemetry_truth(&snap) {
+            result = result.fail(format!("telemetry vs truth: {why}"));
+        }
+    }
+    result.obs = Some(snap);
     result
 }
 
@@ -305,6 +367,8 @@ pub fn stall_survivor_liveness(seed: u64, rounds: u64) -> ScenarioResult {
         restarts: 0,
         max_ack_wait_ms: 0.0,
         failure: String::new(),
+        shutdown_json: String::new(),
+        obs: None,
     };
     let mut b = RtClusterBuilder::new(3);
     let _p0 = b.add_process(0, 1 << 16);
@@ -350,10 +414,19 @@ pub fn stall_survivor_liveness(seed: u64, rounds: u64) -> ScenarioResult {
     if result.passed && counts.stalls == 0 {
         result = result.fail("stall never fired".into());
     }
+    let hub = cluster.obs_handle();
     let report = cluster.shutdown();
+    result.shutdown_json = report.to_json();
     if result.passed && !report.clean() {
         result = result.fail(format!("unclean shutdown: {report:?}"));
     }
+    let snap = hub.snapshot(&result.name);
+    if result.passed {
+        if let Err(why) = telemetry_truth(&snap) {
+            result = result.fail(format!("telemetry vs truth: {why}"));
+        }
+    }
+    result.obs = Some(snap);
     result
 }
 
@@ -372,6 +445,8 @@ pub fn randomized(seed: u64, rounds: u64) -> ScenarioResult {
         restarts: 0,
         max_ack_wait_ms: 0.0,
         failure: String::new(),
+        shutdown_json: String::new(),
+        obs: None,
     };
     let nodes = 3 + (seed % 3) as usize; // 3..=5
     let victim = (seed / 3 % nodes as u64) as usize;
@@ -445,10 +520,19 @@ pub fn randomized(seed: u64, rounds: u64) -> ScenarioResult {
     if result.passed && result.deaths == 0 {
         result = result.fail(format!("injected kill on node {victim} never fired"));
     }
+    let hub = cluster.obs_handle();
     let report = cluster.shutdown();
+    result.shutdown_json = report.to_json();
     if result.passed && !report.clean() {
         result = result.fail(format!("unclean shutdown: {report:?}"));
     }
+    let snap = hub.snapshot(&result.name);
+    if result.passed {
+        if let Err(why) = telemetry_truth(&snap) {
+            result = result.fail(format!("telemetry vs truth: {why}"));
+        }
+    }
+    result.obs = Some(snap);
     result
 }
 

@@ -16,6 +16,38 @@ use mproxy_model::{DesignPoint, ALL_DESIGN_POINTS, MP1};
 
 use crate::sweep::{run_parallel, Job};
 
+/// Version of the shared BENCH_*.json envelope ([`bench_header_json`]).
+pub const BENCH_SCHEMA: u32 = 2;
+
+/// The shared header every bench binary embeds at the top of its JSON
+/// document: schema version, the git revision the numbers were measured
+/// at, the host's logical CPU count, and the run's seed (when the
+/// workload is seeded). Returned as pre-indented member lines —
+/// callers splice it right after their opening `{`:
+///
+/// ```text
+/// "schema": 2,
+/// "header": { "git_rev": "abc1234", "host_cpus": 8, "seed": 7 },
+/// ```
+#[must_use]
+pub fn bench_header_json(seed: Option<u64>) -> String {
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .unwrap_or_else(|| "unknown".to_string());
+    let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let seed = seed.map_or_else(|| "null".to_string(), |s| s.to_string());
+    format!(
+        "  \"schema\": {BENCH_SCHEMA},\n  \"header\": {{ \"git_rev\": \"{}\", \
+         \"host_cpus\": {cpus}, \"seed\": {seed} }},\n",
+        mproxy_obs::json::esc(&rev)
+    )
+}
+
 /// Message sizes swept by the Figure 7 reproduction.
 pub const FIG7_SIZES: [u32; 8] = [8, 32, 128, 512, 2048, 8192, 65536, 262144];
 

@@ -74,7 +74,16 @@ fn percentile(sorted_us: &[f64], q: f64) -> f64 {
 /// fail loudly, not hang.
 #[must_use]
 pub fn ping_pong(locked: bool, rounds: u64) -> PingPong {
+    ping_pong_cfg(locked, rounds, true)
+}
+
+/// [`ping_pong`] with an explicit telemetry-recording knob — the A/B
+/// axis of the `rt_obs` overhead gate (counters stay on either way;
+/// `telemetry` arms histograms and flight recorders).
+#[must_use]
+pub fn ping_pong_cfg(locked: bool, rounds: u64, telemetry: bool) -> PingPong {
     let mut b = RtClusterBuilder::new(2);
+    b.telemetry(telemetry);
     if locked {
         b.locked_data_plane();
     }
@@ -124,8 +133,20 @@ pub fn ping_pong(locked: bool, rounds: u64) -> PingPong {
 /// Panics if any wait times out (a wedged data plane).
 #[must_use]
 pub fn fan_in(locked: bool, sources: usize, msgs_per_source: u64) -> FanIn {
+    fan_in_cfg(locked, sources, msgs_per_source, true)
+}
+
+/// [`fan_in`] with an explicit telemetry-recording knob (see
+/// [`ping_pong_cfg`]).
+///
+/// # Panics
+///
+/// Panics if any wait times out (a wedged data plane).
+#[must_use]
+pub fn fan_in_cfg(locked: bool, sources: usize, msgs_per_source: u64, telemetry: bool) -> FanIn {
     assert!((1..=63).contains(&sources), "1..=63 sources");
     let mut b = RtClusterBuilder::new(sources + 1);
+    b.telemetry(telemetry);
     if locked {
         b.locked_data_plane();
     }

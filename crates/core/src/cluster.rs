@@ -155,6 +155,11 @@ pub(crate) struct NodeState {
     /// Queueing delay of user commands, submission to engine service
     /// start — the measured counterpart of the §5.4 contention model.
     pub(crate) cmd_wait: RefCell<Tally>,
+    /// The same delays as a log-linear histogram (ns), exported under the
+    /// engines' shared telemetry ids.
+    pub(crate) cmd_wait_hist: RefCell<mproxy_obs::Histogram>,
+    /// Submissions that found the credit pool empty and had to block.
+    pub(crate) credit_stalls: Cell<u64>,
     pub(crate) ccbs: RefCell<crate::fxhash::FxHashMap<u64, engine::Ccb>>,
     pub(crate) next_token: Cell<u64>,
     /// Reliable-delivery state, present only when the cluster was built
@@ -176,6 +181,9 @@ impl NodeState {
 
     pub(crate) fn record_cmd_wait(&self, d: Dur) {
         self.cmd_wait.borrow_mut().add(d.as_us());
+        self.cmd_wait_hist
+            .borrow_mut()
+            .record((d.as_us() * 1000.0) as u64);
     }
 }
 
@@ -359,6 +367,8 @@ impl Cluster {
                     engine_busy: Cell::new(Dur::ZERO),
                     engine_ops: Cell::new(0),
                     cmd_wait: RefCell::new(Tally::new()),
+                    cmd_wait_hist: RefCell::new(mproxy_obs::Histogram::new()),
+                    credit_stalls: Cell::new(0),
                     ccbs: RefCell::new(crate::fxhash::FxHashMap::default()),
                     next_token: Cell::new(0),
                     link,
@@ -577,6 +587,79 @@ impl Cluster {
             }
         }
         FaultReport { injected, link }
+    }
+
+    /// Telemetry snapshot under the engines' shared metric ids (see
+    /// `mproxy-obs`): one scope per node carrying the link-layer
+    /// counters, per-node traffic totals, credit stalls, and the
+    /// command-wait histogram, plus — when `report` is given — a `sim`
+    /// scope mapping the DES executor's accounting (events, timers,
+    /// calendar peak, spawned/completed tasks and injected faults).
+    ///
+    /// The sim is single-threaded, so this is an import of its existing
+    /// accounting rather than live atomics; ids and JSON shape are
+    /// identical to the runtime's `RtCluster::obs_snapshot`, letting
+    /// sim/runtime exports line up column for column.
+    #[must_use]
+    pub fn obs_snapshot(
+        &self,
+        label: &str,
+        report: Option<&mproxy_des::RunReport>,
+    ) -> mproxy_obs::Snapshot {
+        use mproxy_obs::{Ctr, HistId, ScopeSnapshot};
+        let mut scopes = Vec::with_capacity(self.state.nodes.len() + 1);
+        for (n, node) in self.state.nodes.iter().enumerate() {
+            let mut sc = ScopeSnapshot::empty(format!("node{n}"));
+            let (ops, bytes) = self
+                .state
+                .procs
+                .iter()
+                .filter(|p| p.node == n)
+                .map(|p| {
+                    let s = p.stats.borrow();
+                    (s.ops, s.bytes)
+                })
+                .fold((0u64, 0u64), |(a, b), (o, y)| (a + o, b + y));
+            sc.set_counter(Ctr::OpsSubmitted, ops);
+            sc.set_counter(Ctr::BytesOut, bytes);
+            sc.set_counter(Ctr::OpsApplied, node.engine_ops.get());
+            sc.set_counter(Ctr::CreditStalls, node.credit_stalls.get());
+            if let Some(l) = &node.link {
+                let s = l.stats();
+                sc.set_counter(Ctr::Retransmits, s.retransmits);
+                sc.set_counter(Ctr::AcksOut, s.acks_sent);
+                sc.set_counter(Ctr::NacksOut, s.nacks_sent);
+                sc.set_counter(Ctr::DedupDrops, s.dups_discarded);
+                sc.set_counter(Ctr::HellosOut, s.hellos_sent);
+                sc.set_counter(Ctr::Replayed, s.replayed);
+                sc.set_counter(Ctr::StaleDrops, s.stale_discarded);
+                sc.set_counter(Ctr::EpochBumps, s.epoch_resyncs);
+            }
+            sc.set_hist(HistId::CmdWaitNs, node.cmd_wait_hist.borrow().clone());
+            scopes.push(sc);
+        }
+        let mut sim = ScopeSnapshot::empty("sim");
+        if let Some(r) = report {
+            sim.set_counter(Ctr::Events, r.events);
+            sim.set_counter(Ctr::TimersArmed, r.timers_armed);
+            sim.set_counter(Ctr::TimersCancelled, r.timers_cancelled);
+            sim.set_counter(Ctr::TimersFired, r.timers_fired);
+            sim.set_counter(Ctr::CalendarPeak, r.calendar_peak);
+            sim.set_counter(Ctr::TasksSpawned, r.spawned);
+            sim.set_counter(Ctr::TasksCompleted, r.completed);
+        }
+        if let Some(f) = &self.state.faults {
+            let c = f.counts();
+            sim.set_counter(
+                Ctr::FaultsInjected,
+                c.dropped + c.duplicated + c.reordered + c.corrupted,
+            );
+        }
+        scopes.push(sim);
+        mproxy_obs::Snapshot {
+            label: label.to_string(),
+            scopes,
+        }
     }
 
     /// Number and mean (µs) of command queueing delays observed at

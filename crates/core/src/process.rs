@@ -534,12 +534,22 @@ impl Proc {
         if self.cs.spec.credit_fail_fast {
             return match ch.try_recv() {
                 Some(()) => Ok(()),
-                None => Err(CommError::CreditsExhausted {
-                    src: self.id,
-                    limit: self.cs.spec.cmd_credits,
-                }),
+                None => {
+                    let node = self.cs.node_of(self.id);
+                    node.credit_stalls.set(node.credit_stalls.get() + 1);
+                    Err(CommError::CreditsExhausted {
+                        src: self.id,
+                        limit: self.cs.spec.cmd_credits,
+                    })
+                }
             };
         }
+        // Fast path: a credit is free right now — no stall to record.
+        if let Some(()) = ch.try_recv() {
+            return Ok(());
+        }
+        let node = self.cs.node_of(self.id);
+        node.credit_stalls.set(node.credit_stalls.get() + 1);
         match ch.recv().await {
             Some(()) => Ok(()),
             // Closed while waiting: the process was poisoned.

@@ -234,6 +234,7 @@ pub(crate) struct Core {
     timers_armed: u64,
     timers_cancelled: u64,
     timers_fired: u64,
+    calendar_peak: u64,
 }
 
 impl Core {
@@ -256,6 +257,7 @@ impl Core {
             timers_armed: 0,
             timers_cancelled: 0,
             timers_fired: 0,
+            calendar_peak: 0,
         }
     }
 
@@ -302,6 +304,7 @@ impl Core {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.calendar.push(Reverse(TimedWake { at, seq, kind }));
+        self.calendar_peak = self.calendar_peak.max(self.calendar.len() as u64);
     }
 
     fn spawn(&mut self, fut: BoxFuture) -> TaskId {
@@ -641,6 +644,8 @@ pub struct RunReport {
     pub timers_cancelled: u64,
     /// Timers that reached their deadline and fired.
     pub timers_fired: u64,
+    /// Peak simultaneous calendar occupancy over the run.
+    pub calendar_peak: u64,
 }
 
 impl RunReport {
@@ -786,6 +791,7 @@ impl Simulation {
             timers_armed: core.timers_armed,
             timers_cancelled: core.timers_cancelled,
             timers_fired: core.timers_fired,
+            calendar_peak: core.calendar_peak,
         }
     }
 

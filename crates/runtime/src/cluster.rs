@@ -70,6 +70,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use mproxy_model::contention::STABLE_UTILIZATION;
+use mproxy_obs::{Ctr, EventKind, HistId, ObsHub, Scope as ObsScope, Snapshot, TraceEvent};
 
 use crate::fault::{RtFaultCounts, RtFaultPlan, RtFaultState};
 use crate::idle::{Backoff, Parker};
@@ -228,6 +229,41 @@ impl ShutdownReport {
     #[must_use]
     pub fn clean(&self) -> bool {
         self.panicked_nodes.is_empty() && self.wedged_nodes.is_empty()
+    }
+
+    /// Stable single-line JSON serialization (the shape `rt_chaos`
+    /// embeds per scenario in `BENCH_chaos.json`):
+    /// `{"clean":bool,"restarts":n,"panicked":[{"node":n,"reason":s?}],
+    /// "wedged":[n]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(64);
+        let _ = write!(
+            s,
+            "{{\"clean\":{},\"restarts\":{},\"panicked\":[",
+            self.clean(),
+            self.restarts
+        );
+        for (i, p) in self.panicked_nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"node\":{}", p.node);
+            if let Some(r) = &p.reason {
+                let _ = write!(s, ",\"reason\":\"{}\"", mproxy_obs::json::esc(r));
+            }
+            s.push('}');
+        }
+        s.push_str("],\"wedged\":[");
+        for (i, n) in self.wedged_nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{n}");
+        }
+        s.push_str("]}");
+        s
     }
 }
 
@@ -422,6 +458,16 @@ impl Payload {
     fn is_request(&self) -> bool {
         !matches!(self, Payload::GetReply { .. })
     }
+
+    /// Application bytes carried (the bytes_in/bytes_out accounting
+    /// unit; headers and control frames count zero).
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            Payload::Put { data, .. } | Payload::Enq { data, .. } => data.len() as u64,
+            Payload::GetReq { .. } => 0,
+            Payload::GetReply { data, .. } => data.as_ref().map_or(0, |d| d.len() as u64),
+        }
+    }
 }
 
 /// One frame on the inter-proxy wire. `Data` frames are sequenced per
@@ -480,6 +526,13 @@ struct Retained {
     body: Payload,
     /// `(proc, flag)` to bump when the frame is acknowledged un-rejected.
     lsync: Option<(u32, u32)>,
+    /// First-transmission time (cluster-relative ns) — the wire-RTT
+    /// histogram measures from here to the releasing ack.
+    sent_ns: u64,
+    /// The originating command's submit stamp ([`Entry::t_ns`]; 0 when
+    /// recording was off or the frame is proxy-originated) — the
+    /// lsync-RTT histogram measures from here.
+    submit_ns: u64,
 }
 
 /// Sender-side state towards one destination node.
@@ -540,6 +593,15 @@ struct PendingEnq {
 /// output. Owned by `Shared`, locked by the serving proxy for its
 /// lifetime; the supervisor locks it briefly between incarnations to
 /// bump the epoch.
+/// Per-message hot-path telemetry — the `Send`/`Enqueue` trace events
+/// and the cmd-wait / wire-RTT / lsync-RTT histogram samples — is
+/// recorded one-in-32 (`tick & MASK == 0`). A histogram's shape survives
+/// deterministic decimation, and sampling keeps the recording-armed cost
+/// on the proxy's critical path inside the `rt_obs` 5% gate. Rare events
+/// (kills, respawns, hellos, acks, sheds, faults) are never sampled, and
+/// counters are always exact.
+const OBS_SAMPLE_MASK: u64 = 31;
+
 pub(crate) struct NodeState {
     /// Incarnation number; bumped by the supervisor on each respawn.
     pub(crate) epoch: u64,
@@ -557,6 +619,8 @@ pub(crate) struct NodeState {
     pending_wire: Vec<VecDeque<WireMsg>>,
     /// Accepted local deliveries whose reply ring was full.
     pending_rq: VecDeque<PendingEnq>,
+    /// Decimation tick for sampled telemetry (see [`OBS_SAMPLE_MASK`]).
+    obs_tick: u64,
 }
 
 impl NodeState {
@@ -570,6 +634,7 @@ impl NodeState {
             rx: (0..nodes).map(|_| RxPeer::default()).collect(),
             pending_wire: (0..nodes).map(|_| VecDeque::new()).collect(),
             pending_rq: VecDeque::new(),
+            obs_tick: 0,
         }
     }
 
@@ -627,6 +692,11 @@ pub(crate) struct Shared {
     started: Instant,
     /// True when running the locked `Mutex<VecDeque>` baseline plane.
     locked_plane: bool,
+    /// Telemetry registry (see `mproxy-obs`): counters are always on;
+    /// histograms and flight recorders follow the hub's recording flag.
+    obs_hub: Arc<ObsHub>,
+    /// One telemetry scope per node, indexed like `wires`.
+    pub(crate) obs: Vec<Arc<ObsScope>>,
 }
 
 impl Shared {
@@ -666,6 +736,14 @@ impl Shared {
             .unwrap_or_else(|e| e.into_inner())
             .clone()
     }
+
+    /// Nanoseconds from cluster start to `now` — the telemetry timebase
+    /// shared by every histogram sample and flight-recorder event (plain
+    /// `Instant` arithmetic, no clock read).
+    #[inline]
+    pub(crate) fn rel_ns(&self, now: Instant) -> u64 {
+        u64::try_from(now.duration_since(self.started).as_nanos()).unwrap_or(u64::MAX)
+    }
 }
 
 /// Marks `node` permanently dead and wakes everything that might be
@@ -689,6 +767,7 @@ pub struct RtClusterBuilder {
     watchdog_interval: Duration,
     fault_plan: Option<RtFaultPlan>,
     supervision: Option<SupervisorCfg>,
+    telemetry: bool,
 }
 
 impl RtClusterBuilder {
@@ -709,7 +788,18 @@ impl RtClusterBuilder {
             watchdog_interval: Duration::from_millis(1),
             fault_plan: None,
             supervision: None,
+            telemetry: true,
         }
+    }
+
+    /// Arms or disarms telemetry *recording* (histograms and the
+    /// flight-recorder rings). Counters are always on either way — they
+    /// are a handful of relaxed adds per operation. On by default; the
+    /// `rt_obs` bench gates the recording-on overhead at ≤5% and uses
+    /// `telemetry(false)` as its uninstrumented baseline.
+    pub fn telemetry(&mut self, on: bool) -> &mut Self {
+        self.telemetry = on;
+        self
     }
 
     /// Enables overload shedding: while a proxy is saturated, its wire
@@ -795,6 +885,10 @@ impl RtClusterBuilder {
     pub fn start(self) -> (RtCluster, Vec<Endpoint>) {
         let nodes = self.nodes;
         let now = Instant::now();
+        let obs_hub = ObsHub::new_at(self.telemetry, now);
+        let obs: Vec<Arc<ObsScope>> = (0..nodes)
+            .map(|n| obs_hub.register(format!("node{n}"), mproxy_obs::DEFAULT_RING_CAP))
+            .collect();
         let wires: Vec<Wire> = (0..nodes).map(|_| Wire::new(self.locked)).collect();
         let procs: Vec<Arc<ProcShared>> = self
             .procs
@@ -865,6 +959,8 @@ impl RtClusterBuilder {
             supervision: self.supervision,
             started: now,
             locked_plane: self.locked,
+            obs_hub,
+            obs,
         });
 
         let endpoints = cmd_txs
@@ -877,6 +973,7 @@ impl RtClusterBuilder {
                 ready: Arc::clone(&masks[node]),
                 qbit,
                 next_alloc: 0,
+                obs_tick: 0,
             })
             .collect();
 
@@ -1049,6 +1146,55 @@ impl RtCluster {
         self.shared.faults.as_ref().map(RtFaultState::counts)
     }
 
+    /// Arms or disarms telemetry recording at runtime (histograms and
+    /// flight recorders; counters are always on).
+    pub fn set_telemetry(&self, on: bool) {
+        self.shared.obs_hub.set_recording(on);
+    }
+
+    /// Whether telemetry recording is armed.
+    #[must_use]
+    pub fn telemetry(&self) -> bool {
+        self.shared.obs_hub.recording()
+    }
+
+    /// Point-in-time telemetry snapshot of every node scope — counters
+    /// and histograms, taken without stopping the proxies. Cross-node
+    /// counter invariants (e.g. `msgs_out == ops_applied + sheds`) only
+    /// hold on a quiesced cluster.
+    #[must_use]
+    pub fn obs_snapshot(&self, label: &str) -> Snapshot {
+        self.shared.obs_hub.snapshot(label)
+    }
+
+    /// A handle on the telemetry hub that outlives the cluster — take it
+    /// before [`RtCluster::shutdown`] to snapshot or dump traces *after*
+    /// shutdown, when every proxy has exited and the cross-node counter
+    /// invariants are exact.
+    #[must_use]
+    pub fn obs_handle(&self) -> Arc<ObsHub> {
+        Arc::clone(&self.shared.obs_hub)
+    }
+
+    /// Dump every node's flight-recorder ring (oldest event first).
+    #[must_use]
+    pub fn trace_dump(&self) -> Vec<(String, Vec<TraceEvent>)> {
+        self.shared.obs_hub.trace_dump()
+    }
+
+    /// Surviving flight-recorder events for one node.
+    #[must_use]
+    pub fn flight_events(&self, node: usize) -> Vec<TraceEvent> {
+        self.shared.obs[node].events()
+    }
+
+    /// Render every node's flight recorder as a Chrome `trace_event`
+    /// (Perfetto) JSON document.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        mproxy_obs::chrome::chrome_trace(&self.trace_dump())
+    }
+
     /// Stops the proxy threads, waits for them to exit, and reports what
     /// it saw: proxies dead by panic, proxies wedged past the default
     /// 10 s deadline (detached, not joined), and the respawn total.
@@ -1133,6 +1279,9 @@ pub struct Endpoint {
     ready: Arc<AtomicU64>,
     qbit: u32,
     next_alloc: u64,
+    /// Decimation tick for the sampled `Enqueue` trace (see
+    /// [`OBS_SAMPLE_MASK`]).
+    obs_tick: u64,
 }
 
 impl Endpoint {
@@ -1250,8 +1399,31 @@ impl Endpoint {
         self.me.queues[rq.0 as usize].pop()
     }
 
-    fn submit(&mut self, e: Entry) {
-        self.cmd.send(e);
+    fn submit(&mut self, mut e: Entry) {
+        let obs = &self.shared.obs[self.me.node];
+        obs.inc(Ctr::OpsSubmitted);
+        self.obs_tick = self.obs_tick.wrapping_add(1);
+        if obs.recording() && self.obs_tick & OBS_SAMPLE_MASK == 0 {
+            // Stamp for the command-queue-wait and lsync-RTT histograms.
+            // The clock read itself is the dominant recording-on cost on
+            // this path (kvm-clock reads are slow inside VMs), so the
+            // stamp is taken on sampled submissions only; downstream
+            // recorders key off `t_ns != 0` and inherit the decimation.
+            e.t_ns = self.shared.rel_ns(Instant::now());
+            obs.trace_at(e.t_ns, EventKind::Enqueue, self.me.asid as u16, e.op);
+        }
+        if !self.cmd.try_send(e) {
+            // Queue full: the bounded ring is backpressuring us. Count
+            // the stall, then fall back to the blocking send.
+            obs.inc(Ctr::CreditStalls);
+            obs.trace_at(
+                self.shared.rel_ns(Instant::now()),
+                EventKind::CreditStall,
+                self.me.asid as u16,
+                e.op,
+            );
+            self.cmd.send(e);
+        }
         // §4.1: flip the shared ready bit so the proxy's idle scan probes
         // one word instead of every queue head — then wake the proxy in
         // case it parked.
@@ -1285,6 +1457,7 @@ impl Endpoint {
                 (u64::from(dst) << 32) | u64::from(nbytes),
                 Self::pack_sync(lsync, rsync),
             ],
+            t_ns: 0,
         });
     }
 
@@ -1299,6 +1472,7 @@ impl Endpoint {
                 (u64::from(dst) << 32) | u64::from(nbytes),
                 Self::pack_sync(lsync, None),
             ],
+            t_ns: 0,
         });
     }
 
@@ -1349,6 +1523,7 @@ impl Endpoint {
                 (u64::from(dst) << 32) | u64::from(nbytes),
                 Self::pack_sync(lsync, rsync),
             ],
+            t_ns: 0,
         });
     }
 }
@@ -1433,6 +1608,7 @@ fn flush_pending(shared: &Shared, st: &mut NodeState) -> bool {
 /// `dst_node`, applying the fault injector's verdict (drop / duplicate /
 /// corrupt) to the transmission — never to the retained copy, which is
 /// what retransmission re-sends.
+#[allow(clippy::too_many_arguments)]
 fn send_data(
     shared: &Shared,
     st: &mut NodeState,
@@ -1441,6 +1617,7 @@ fn send_data(
     dst_node: usize,
     body: Payload,
     lsync: Option<(u32, u32)>,
+    submit_ns: u64,
 ) {
     if shared.condemned[dst_node].load(Ordering::Relaxed) {
         // The destination is permanently gone: the op is lost, its lsync
@@ -1451,6 +1628,9 @@ fn send_data(
         }
         return;
     }
+    let obs = &shared.obs[node];
+    obs.inc(Ctr::MsgsOut);
+    obs.add(Ctr::BytesOut, body.wire_bytes());
     let tx = &mut st.tx[dst_node];
     let seq = tx.next_seq;
     tx.next_seq += 1;
@@ -1461,12 +1641,27 @@ fn send_data(
         seq,
         body: body.clone(),
         lsync,
+        // The loop's `now` re-expressed on the shared epoch: pure
+        // arithmetic, no extra clock read on the proxy's hot path.
+        sent_ns: shared.rel_ns(now),
+        submit_ns,
     });
     let mut corrupt = false;
     let mut copies = 1;
     if let Some(faults) = &shared.faults {
         if faults.packet_faults_possible() {
             let fate = faults.judge(node);
+            if fate.drop || fate.corrupt || fate.duplicate {
+                obs.inc(Ctr::FaultsInjected);
+                let kind = if fate.drop {
+                    EventKind::FaultDrop
+                } else if fate.corrupt {
+                    EventKind::FaultCorrupt
+                } else {
+                    EventKind::FaultDup
+                };
+                obs.trace_at(shared.rel_ns(now), kind, dst_node as u16, seq as u32);
+            }
             if fate.drop {
                 return; // retention + RTO recover it
             }
@@ -1475,6 +1670,15 @@ fn send_data(
                 copies = 2;
             }
         }
+    }
+    st.obs_tick = st.obs_tick.wrapping_add(1);
+    if st.obs_tick & OBS_SAMPLE_MASK == 0 {
+        obs.trace_at(
+            shared.rel_ns(now),
+            EventKind::Send,
+            dst_node as u16,
+            seq as u32,
+        );
     }
     for _ in 0..copies {
         push_wire(
@@ -1497,20 +1701,34 @@ fn send_data(
 fn process_ack(
     shared: &Shared,
     st: &mut NodeState,
+    node: usize,
     now: Instant,
     from: usize,
     upto: u64,
     rejected: &[u64],
 ) {
-    let NodeState { tx, ccbs, .. } = st;
+    let NodeState {
+        tx,
+        ccbs,
+        obs_tick,
+        ..
+    } = st;
     let tx = &mut tx[from];
     if upto <= tx.acked {
         return;
     }
     tx.acked = upto;
     tx.last_progress = now;
+    let obs = &shared.obs[node];
+    let now_ns = shared.rel_ns(now);
     while tx.retained.front().is_some_and(|r| r.seq <= upto) {
         let r = tx.retained.pop_front().expect("front checked above");
+        *obs_tick = obs_tick.wrapping_add(1);
+        let sampled = *obs_tick & OBS_SAMPLE_MASK == 0;
+        // Wire RTT: first transmission → the releasing cumulative ack.
+        if sampled {
+            obs.record(HistId::WireRttNs, now_ns.saturating_sub(r.sent_ns));
+        }
         if rejected.contains(&r.seq) {
             // Shed at the receiver: the op never happened. No lsync; a
             // rejected GET's CCB is cancelled.
@@ -1518,6 +1736,11 @@ fn process_ack(
                 ccbs.remove(&token);
             }
         } else if let Some((proc, flag)) = r.lsync {
+            // Lsync round trip: user submit stamp → the ack that fires
+            // the flag (0 means the stamp predates recording — skip).
+            if r.submit_ns != 0 {
+                obs.record(HistId::LsyncRttNs, now_ns.saturating_sub(r.submit_ns));
+            }
             shared.set_flag(proc, flag);
         }
     }
@@ -1569,6 +1792,7 @@ fn apply_data(
                 from,
                 Payload::GetReply { token, data },
                 None,
+                0,
             );
         }
         Payload::GetReply { token, data } => {
@@ -1619,6 +1843,7 @@ fn apply_data(
 
 /// Handles one inbound wire frame on node `node`.
 fn handle_packet(shared: &Shared, st: &mut NodeState, node: usize, now: Instant, msg: WireMsg) {
+    let obs = &shared.obs[node];
     match msg {
         WireMsg::Data {
             from,
@@ -1626,35 +1851,77 @@ fn handle_packet(shared: &Shared, st: &mut NodeState, node: usize, now: Instant,
             corrupt,
             body,
         } => {
+            obs.inc(Ctr::MsgsIn);
+            obs.add(Ctr::BytesIn, body.wire_bytes());
             let rx = &mut st.rx[from];
             if seq <= rx.delivered {
                 // Duplicate (injected, or a retransmission racing the
                 // ack): drop it, re-ack so the sender converges.
+                obs.inc(Ctr::DedupDrops);
+                obs.trace_at(
+                    shared.rel_ns(now),
+                    EventKind::DedupDrop,
+                    from as u16,
+                    seq as u32,
+                );
                 rx.ack_pending = true;
                 return;
             }
             if corrupt || seq != rx.delivered + 1 {
                 // Damaged or out of order (a gap means an earlier frame
                 // was dropped): don't deliver, ask for retransmission.
+                obs.inc(Ctr::DamagedDrops);
                 rx.nack_pending = true;
                 return;
             }
             rx.delivered = seq;
             rx.ack_pending = true;
+            obs.inc(Ctr::OpsApplied);
             apply_data(shared, st, node, now, from, body);
         }
         WireMsg::AckUpto {
             from,
             upto,
             rejected,
-        } => process_ack(shared, st, now, from, upto, &rejected),
-        WireMsg::Nack { from, .. } => st.tx[from].nack_hint = true,
-        WireMsg::Hello { from, .. } => {
+        } => {
+            obs.inc(Ctr::AcksIn);
+            // Acks arrive roughly per service batch under load, so this
+            // trace is decimated like the other hot-path events. The
+            // resync span in the Chrome exporter tolerates a missed ack:
+            // it falls back to the (never-sampled) Hello event.
+            st.obs_tick = st.obs_tick.wrapping_add(1);
+            if st.obs_tick & OBS_SAMPLE_MASK == 0 {
+                obs.trace_at(
+                    shared.rel_ns(now),
+                    EventKind::AckIn,
+                    from as u16,
+                    upto as u32,
+                );
+            }
+            process_ack(shared, st, node, now, from, upto, &rejected);
+        }
+        WireMsg::Nack { from, since } => {
+            obs.inc(Ctr::NacksIn);
+            obs.trace_at(
+                shared.rel_ns(now),
+                EventKind::NackIn,
+                from as u16,
+                since as u32,
+            );
+            st.tx[from].nack_hint = true;
+        }
+        WireMsg::Hello { from, epoch } => {
             // A peer's proxy respawned. Re-ack our watermark so its
             // retention drains, and retransmit ours immediately — its
             // wire ring may hold our frames from before the crash, but
             // timers would cover any gap slowly; the hello bounds the
             // resync to one round trip.
+            obs.trace_at(
+                shared.rel_ns(now),
+                EventKind::Hello,
+                from as u16,
+                epoch as u32,
+            );
             st.rx[from].ack_pending = true;
             st.tx[from].nack_hint = true;
         }
@@ -1683,13 +1950,18 @@ fn retransmit(shared: &Shared, st: &mut NodeState, node: usize, now: Instant) {
         }
         tx.nack_hint = false;
         tx.last_progress = now;
+        let obs = &shared.obs[node];
         let mut pushed = false;
+        let mut resent = 0u32;
         'frames: for r in tx.retained.iter().take(RESEND_BURST) {
             let mut corrupt = false;
             let mut copies = 1;
             if let Some(faults) = &shared.faults {
                 if faults.packet_faults_possible() {
                     let fate = faults.judge(node);
+                    if fate.drop || fate.corrupt || fate.duplicate {
+                        obs.inc(Ctr::FaultsInjected);
+                    }
                     if fate.drop {
                         continue; // the *retransmit* was dropped; next pass retries
                     }
@@ -1711,6 +1983,11 @@ fn retransmit(shared: &Shared, st: &mut NodeState, node: usize, now: Instant) {
                 }
                 pushed = true;
             }
+            resent += 1;
+        }
+        if resent > 0 {
+            obs.add(Ctr::Retransmits, u64::from(resent));
+            obs.trace_at(shared.rel_ns(now), EventKind::Retransmit, dst as u16, resent);
         }
         if pushed {
             shared.parkers[dst].wake();
@@ -1725,10 +2002,12 @@ fn flush_acks(shared: &Shared, st: &mut NodeState, node: usize) {
     let NodeState {
         rx, pending_wire, ..
     } = st;
+    let obs = &shared.obs[node];
     for (src, rx) in rx.iter_mut().enumerate() {
         if rx.ack_pending || !rx.rejected_new.is_empty() {
             rx.ack_pending = false;
             let rejected = std::mem::take(&mut rx.rejected_new);
+            obs.inc(Ctr::AcksOut);
             push_wire(
                 shared,
                 &mut pending_wire[src],
@@ -1742,6 +2021,7 @@ fn flush_acks(shared: &Shared, st: &mut NodeState, node: usize) {
         }
         if rx.nack_pending {
             rx.nack_pending = false;
+            obs.inc(Ctr::NacksOut);
             push_wire(
                 shared,
                 &mut pending_wire[src],
@@ -1796,6 +2076,7 @@ fn handle_command(
                     rsync,
                 },
                 lsync.map(|l| (src, l)),
+                e.t_ns,
             );
         }
         OP_GET => {
@@ -1829,6 +2110,7 @@ fn handle_command(
                     token,
                 },
                 None,
+                e.t_ns,
             );
         }
         OP_ENQ => {
@@ -1856,6 +2138,7 @@ fn handle_command(
                     rsync,
                 },
                 lsync.map(|l| (src, l)),
+                e.t_ns,
             );
         }
         _ => shared.fault(src),
@@ -1891,6 +2174,25 @@ pub(crate) fn run_proxy(node: usize, shared: Arc<Shared>) {
             .map(|s| (*s).to_string())
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        let obs = &shared.obs[node];
+        obs.inc(Ctr::Kills);
+        obs.trace(EventKind::Kill, node as u16, 0);
+        if std::env::var_os("MPROXY_OBS_DUMP_ON_PANIC").is_some() {
+            eprintln!(
+                "mproxy-rt: node {node} flight recorder at death:\n{}",
+                obs.events()
+                    .iter()
+                    .map(|e| format!(
+                        "  t={}ns {} a={} b={}",
+                        e.t_ns,
+                        e.kind.name(),
+                        e.a,
+                        e.b
+                    ))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
         shared.deaths[node].fetch_add(1, Ordering::Relaxed);
         *shared.panic_reasons[node]
             .lock()
@@ -1973,6 +2275,8 @@ fn proxy_main(
         if st.hello_pending {
             st.hello_pending = false;
             let epoch = st.epoch;
+            let obs = &shared.obs[node];
+            obs.trace_at(shared.rel_ns(now), EventKind::Hello, node as u16, epoch as u32);
             for dst in 0..shared.wires.len() {
                 if dst == node {
                     continue;
@@ -1981,6 +2285,7 @@ fn proxy_main(
                 if shared.condemned[dst].load(Ordering::Relaxed) {
                     continue;
                 }
+                obs.inc(Ctr::HellosOut);
                 push_wire(
                     shared,
                     &mut st.pending_wire[dst],
@@ -2005,10 +2310,22 @@ fn proxy_main(
                     }
                     let taken = q.pop_burst(&mut batch, SERVICE_BURST);
                     let src = *src;
+                    let obs = &shared.obs[node];
+                    let drain_ns = shared.rel_ns(now);
                     for e in batch.drain(..) {
+                        // Command-queue wait: submit stamp → this drain.
+                        // `t_ns == 0` means the entry was unstamped
+                        // (recording off at submit time).
+                        if e.t_ns != 0 {
+                            obs.record(HistId::CmdWaitNs, drain_ns.saturating_sub(e.t_ns));
+                        }
                         handle_command(shared, st, node, now, src, e);
                     }
                     if taken > 0 {
+                        st.obs_tick = st.obs_tick.wrapping_add(1);
+                        if st.obs_tick & OBS_SAMPLE_MASK == 0 {
+                            obs.trace_at(drain_ns, EventKind::Drain, src as u16, taken as u32);
+                        }
                         shared.ops_serviced[node].fetch_add(taken as u64, Ordering::Relaxed);
                         progressed = true;
                     }
@@ -2029,6 +2346,7 @@ fn proxy_main(
         if shared.shed_enabled.load(Ordering::Relaxed) && health.saturated.load(Ordering::Acquire)
         {
             let mut rejected = 0u64;
+            let obs = &shared.obs[node];
             while wire_rx.len() > SHED_BACKLOG {
                 let Some(msg) = wire_rx.pop() else { break };
                 match msg {
@@ -2038,15 +2356,25 @@ fn proxy_main(
                         corrupt,
                         body,
                     } if body.is_request() => {
+                        obs.inc(Ctr::MsgsIn);
+                        obs.add(Ctr::BytesIn, body.wire_bytes());
                         let rx = &mut st.rx[from];
                         if seq <= rx.delivered {
+                            obs.inc(Ctr::DedupDrops);
                             rx.ack_pending = true; // duplicate of old news
                         } else if !corrupt && seq == rx.delivered + 1 {
                             rx.delivered = seq;
                             rx.rejected_new.push(seq);
                             rx.ack_pending = true;
                             rejected += 1;
+                            obs.trace_at(
+                                shared.rel_ns(now),
+                                EventKind::Shed,
+                                from as u16,
+                                seq as u32,
+                            );
                         } else {
+                            obs.inc(Ctr::DamagedDrops);
                             rx.nack_pending = true;
                         }
                     }
@@ -2058,6 +2386,7 @@ fn proxy_main(
                 }
             }
             if rejected > 0 {
+                obs.add(Ctr::Sheds, rejected);
                 health.shed.fetch_add(rejected, Ordering::Relaxed);
                 progressed = true;
             }
@@ -2179,6 +2508,9 @@ fn watchdog_main(shared: &Shared, interval: Duration) {
             prev_busy[node] = busy;
             let util = (u128::from(delta) as f64 / wall_ns as f64).min(1.0);
             h.util_bits.store(util.to_bits(), Ordering::Relaxed);
+            let obs = &shared.obs[node];
+            // Busy fraction as permille, one sample per watchdog tick.
+            obs.record(HistId::BusyPermille, (util * 1000.0) as u64);
             // Two overload signals. Utilisation is the paper's §5.4 rule,
             // but it is a time-domain measure: on an oversubscribed host
             // the proxy thread may be descheduled and sample low even as
@@ -2189,6 +2521,8 @@ fn watchdog_main(shared: &Shared, interval: Duration) {
             let was = h.saturated.load(Ordering::Acquire);
             if !was && (util > STABLE_UTILIZATION || backlog > SHED_BACKLOG) {
                 h.saturation_events.fetch_add(1, Ordering::Relaxed);
+                obs.inc(Ctr::SaturationEvents);
+                obs.trace(EventKind::SatEnter, node as u16, backlog as u32);
                 h.saturated.store(true, Ordering::Release);
                 // A shedding proxy may be parked with its wire already
                 // over the cap; make sure it sees the flag.
@@ -2203,6 +2537,7 @@ fn watchdog_main(shared: &Shared, interval: Duration) {
                     );
                 }
             } else if was && util < RECOVERY_UTILIZATION && backlog < SHED_BACKLOG / 2 {
+                obs.trace(EventKind::SatExit, node as u16, backlog as u32);
                 h.saturated.store(false, Ordering::Release);
             }
         }

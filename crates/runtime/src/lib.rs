@@ -82,6 +82,7 @@ pub use cluster::{
 };
 pub use fault::{RtFaultCounts, RtFaultPlan, RtKill, RtStall};
 pub use mem::Segment;
+pub use mproxy_obs as obs;
 
 #[cfg(test)]
 mod tests {

@@ -14,13 +14,19 @@ use crate::idle::Backoff;
 use crate::ring::CachePadded;
 
 /// A fixed command record: opcode plus four operand words — the shape of
-/// a real proxy queue entry (opcode, addresses, size, sync descriptor).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// a real proxy queue entry (opcode, addresses, size, sync descriptor) —
+/// plus a submit timestamp for the command-queue-wait telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Entry {
     /// Operation code (interpreted by the consumer).
     pub op: u32,
     /// Operand words (addresses, lengths, flag ids...).
     pub args: [u64; 4],
+    /// Submit timestamp, ns since an epoch the producer and consumer
+    /// agree on (the cluster start). `0` means unstamped — telemetry
+    /// recording was off at submit time, and the consumer must not
+    /// derive a wait time from it.
+    pub t_ns: u64,
 }
 
 struct Slot {
@@ -29,6 +35,7 @@ struct Slot {
     valid: AtomicU32,
     op: AtomicU32,
     args: [AtomicU64; 4],
+    t_ns: AtomicU64,
 }
 
 impl Slot {
@@ -42,6 +49,7 @@ impl Slot {
                 AtomicU64::new(0),
                 AtomicU64::new(0),
             ],
+            t_ns: AtomicU64::new(0),
         }
     }
 }
@@ -74,7 +82,7 @@ impl std::fmt::Debug for Slot {
 /// use mproxy_rt::spsc::{channel, Entry};
 ///
 /// let (mut tx, mut rx) = channel(8);
-/// assert!(tx.try_send(Entry { op: 1, args: [2, 3, 4, 5] }));
+/// assert!(tx.try_send(Entry { op: 1, args: [2, 3, 4, 5], ..Entry::default() }));
 /// assert_eq!(rx.try_recv().unwrap().op, 1);
 /// assert!(rx.try_recv().is_none());
 /// ```
@@ -114,6 +122,7 @@ impl Producer {
         for (dst, src) in slot.args.iter().zip(e.args) {
             dst.store(src, Ordering::Relaxed);
         }
+        slot.t_ns.store(e.t_ns, Ordering::Relaxed);
         // Publish: everything above happens-before a consumer that
         // acquires the flag.
         slot.valid.store(1, Ordering::Release);
@@ -161,6 +170,7 @@ impl Consumer {
                 slot.args[2].load(Ordering::Relaxed),
                 slot.args[3].load(Ordering::Relaxed),
             ],
+            t_ns: slot.t_ns.load(Ordering::Relaxed),
         };
         // Return the slot to the producer.
         slot.valid.store(0, Ordering::Release);
@@ -198,13 +208,15 @@ mod tests {
         for i in 0..4 {
             assert!(tx.try_send(Entry {
                 op: i,
-                args: [u64::from(i); 4]
+                args: [u64::from(i); 4],
+                ..Entry::default()
             }));
         }
         assert!(
             !tx.try_send(Entry {
                 op: 9,
-                args: [0; 4]
+                args: [0; 4],
+                ..Entry::default()
             }),
             "must be full"
         );
@@ -222,7 +234,8 @@ mod tests {
         for round in 0..100u32 {
             assert!(tx.try_send(Entry {
                 op: round,
-                args: [u64::from(round), 0, 0, 0]
+                args: [u64::from(round), 0, 0, 0],
+                ..Entry::default()
             }));
             assert_eq!(rx.try_recv().unwrap().op, round);
         }
@@ -237,6 +250,7 @@ mod tests {
                 tx.send(Entry {
                     op: i,
                     args: [u64::from(i).wrapping_mul(0x9e37), 0, 0, 0],
+                    ..Entry::default()
                 });
             }
         });
@@ -259,7 +273,8 @@ mod tests {
         for i in 0..6 {
             assert!(tx.try_send(Entry {
                 op: i,
-                args: [0; 4]
+                args: [0; 4],
+                ..Entry::default()
             }));
         }
         let mut out = Vec::new();
@@ -273,7 +288,8 @@ mod tests {
         // Freed slots are reusable immediately.
         assert!(tx.try_send(Entry {
             op: 9,
-            args: [0; 4]
+            args: [0; 4],
+                ..Entry::default()
         }));
         assert_eq!(rx.try_recv().unwrap().op, 9);
     }

@@ -29,6 +29,8 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+use mproxy_obs::{Ctr, EventKind};
+
 use crate::cluster::{condemn, run_proxy, Shared};
 use crate::idle::sleep_unless;
 
@@ -104,6 +106,11 @@ fn respawn(shared: &Arc<Shared>, node: usize, restart_no: u32) {
         st.epoch
     };
     shared.epochs[node].store(epoch, Ordering::Relaxed);
+    let obs = &shared.obs[node];
+    obs.inc(Ctr::EpochBumps);
+    obs.inc(Ctr::Respawns);
+    obs.trace(EventKind::EpochBump, node as u16, epoch as u32);
+    obs.trace(EventKind::Respawn, node as u16, restart_no);
     shared.panicked[node].store(false, Ordering::Release);
     let reason = shared.panic_reasons[node]
         .lock()

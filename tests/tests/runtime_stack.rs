@@ -123,6 +123,7 @@ fn spsc_matches_vecdeque_model() {
                 let e = spsc::Entry {
                     op: seq,
                     args: [u64::from(seq); 4],
+                    ..spsc::Entry::default()
                 };
                 let accepted = tx.try_send(e);
                 assert_eq!(accepted, model.len() < cap);

@@ -71,6 +71,7 @@ fn spsc_randomized_two_thread_stress() {
                 tx.send(Entry {
                     op: sent as u32,
                     args: [sent, sent.wrapping_mul(0x9e37), !sent, 0],
+                    ..Entry::default()
                 });
                 sent += 1;
             }
