@@ -4,32 +4,73 @@
 //! `BENCH_rt.json` so the runtime's perf trajectory is tracked in-repo.
 //!
 //! ```text
-//! rt_throughput [--quick] [--label STR] [--out PATH] [--baseline-locked] [--check PATH]
+//! rt_throughput [--quick] [--label STR] [--out PATH] [--baseline-locked]
+//!               [--check PATH] [--shards N]
 //! ```
 //!
-//! * `--quick`            reduced round/message counts (CI smoke).
+//! * `--quick`            reduced round/message counts (CI smoke); skips
+//!   the shard sweep.
 //! * `--label`            free-form description recorded in the JSON.
 //! * `--out`              write the JSON document to PATH (default: stdout).
 //! * `--baseline-locked`  ablation: run only the locked `Mutex<VecDeque>`
 //!   plane ([`RtClusterBuilder::locked_data_plane`]) — no speedup section.
 //! * `--check`            compare measured lock-free fan-in msgs/sec
 //!   against the number recorded in PATH; exit non-zero on a >20%
-//!   regression. Incompatible with `--baseline-locked`.
+//!   regression. Incompatible with `--baseline-locked`. When the shard
+//!   sweep ran, additionally gates it: throughput must not decrease
+//!   by more than 10% from one shard count to the next, and the top
+//!   shard count must strictly beat `shards=1` when the host has more
+//!   than one core.
+//! * `--shards N`         per-node proxy shard threads for the main
+//!   ping-pong / fan-in runs (default 1). The recorded baseline is the
+//!   unsharded single-proxy number, so `--shards 2 --check` gates the
+//!   sharding tax on a single-user workload.
 //!
-//! A default run measures **both** planes back to back and records the
-//! fan-in speedup (lock-free over locked) — the A/B the rings must win.
+//! A default run measures **both** planes back to back, records the
+//! fan-in speedup (lock-free over locked) — the A/B the rings must win —
+//! and then sweeps the proxies×users fan-in over 1/2/4 shards.
 //!
 //! [`RtClusterBuilder::locked_data_plane`]: mproxy_rt::RtClusterBuilder::locked_data_plane
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use mproxy_bench::rt::{self, FanIn, PingPong};
+use mproxy_bench::rt::{self, FanIn, PingPong, ShardPoint};
+use mproxy_rt::MAX_SHARDS;
 
 /// Allowed fan-in msgs/sec regression before `--check` fails.
 const CHECK_TOLERANCE: f64 = 0.20;
+/// Allowed step-to-step dip in the shard sweep before `--check` fails —
+/// tighter than [`CHECK_TOLERANCE`] because consecutive sweep points run
+/// back to back in one process, so run-to-run noise is the only slack
+/// needed; on a single-core host extra shard threads must be near-free.
+const SWEEP_TOLERANCE: f64 = 0.10;
 /// Fan-in source processes (each on its own node).
 const SOURCES: usize = 3;
+/// Shard counts the proxies×users sweep visits.
+const SWEEP_SHARDS: [usize; 3] = [1, 2, 4];
+/// Sink users sharing node 0 in the sweep. Eight, not four: the shard
+/// table is a jump hash, and asids 0..8 happen to cover *all four*
+/// shards at the sweep's top point (4 asids would leave two shards
+/// idle — threads that only tax the scheduler and skew the curve on
+/// small hosts).
+const SWEEP_USERS: usize = 8;
+/// PUT payload bytes for sweep points. Bulk frames, unlike the planes'
+/// [`rt::PAYLOAD`]-byte pings: the sweep's question is how *delivery
+/// work* scales with proxy shards, so the per-message segment copy must
+/// dominate per-frame bookkeeping (at tiny payloads the curve mostly
+/// measures scheduler churn on oversubscribed hosts).
+const SWEEP_PAYLOAD: u32 = 2048;
+/// Best-of runs per sweep point: the sweep's contract is *monotonic
+/// non-decreasing*, so each point takes the best of a few runs to keep
+/// scheduler noise from manufacturing a fake regression. Reps are
+/// interleaved across shard counts (rep-major) so a noisy host epoch
+/// taxes every point equally instead of whichever point it lands on.
+/// Points are deliberately short (~0.2 s) and reps many: shared-host
+/// noise arrives in multi-second bursts, and a short point has a real
+/// chance of landing wholly inside a quiet window, which is the regime
+/// the sweep is defined over.
+const SWEEP_REPS: usize = 15;
 
 struct Args {
     quick: bool,
@@ -37,6 +78,7 @@ struct Args {
     out: Option<String>,
     baseline_locked: bool,
     check: Option<String>,
+    shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         baseline_locked: false,
         check: None,
+        shards: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -56,6 +99,14 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(value("--out")?),
             "--baseline-locked" => args.baseline_locked = true,
             "--check" => args.check = Some(value("--check")?),
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if !(1..=MAX_SHARDS).contains(&args.shards) {
+                    return Err(format!("--shards must be in 1..={MAX_SHARDS}"));
+                }
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -78,17 +129,94 @@ fn extract_lockfree_fanin(doc: &str) -> Option<f64> {
 }
 
 /// One plane, both workloads.
-fn run_plane(name: &str, locked: bool, pp_rounds: u64, fi_msgs: u64) -> (PingPong, FanIn) {
-    eprintln!("rt_throughput: {name} ping-pong ({pp_rounds} rounds) ...");
-    let pp = rt::ping_pong(locked, pp_rounds);
+fn run_plane(name: &str, locked: bool, pp_rounds: u64, fi_msgs: u64, shards: usize) -> (PingPong, FanIn) {
+    eprintln!("rt_throughput: {name} ping-pong ({pp_rounds} rounds, {shards} shards) ...");
+    let pp = rt::ping_pong_shards(locked, pp_rounds, shards);
     eprintln!(
         "rt_throughput:   p50 {:.1} us, p90 {:.1} us, p99 {:.1} us",
         pp.p50_us, pp.p90_us, pp.p99_us
     );
-    eprintln!("rt_throughput: {name} fan-in ({SOURCES} sources x {fi_msgs} msgs) ...");
-    let fi = rt::fan_in(locked, SOURCES, fi_msgs);
+    eprintln!("rt_throughput: {name} fan-in ({SOURCES} sources x {fi_msgs} msgs, {shards} shards) ...");
+    let fi = rt::fan_in_shards(locked, SOURCES, fi_msgs, shards);
     eprintln!("rt_throughput:   {:.0} msgs/sec", fi.msgs_per_sec);
     (pp, fi)
+}
+
+/// The proxies×users sweep: best-of-[`SWEEP_REPS`] multi-user bulk
+/// fan-in at each shard count in [`SWEEP_SHARDS`].
+///
+fn run_sweep(fi_msgs: u64) -> Vec<ShardPoint> {
+    eprintln!(
+        "rt_throughput: sweep fan-in ({SOURCES} sources x {fi_msgs} x {SWEEP_PAYLOAD}B msgs -> \
+         {SWEEP_USERS} users, shards {SWEEP_SHARDS:?}, best of {SWEEP_REPS} interleaved) ..."
+    );
+    let mut best: Vec<Option<ShardPoint>> = vec![None; SWEEP_SHARDS.len()];
+    for _ in 0..SWEEP_REPS {
+        for (i, &shards) in SWEEP_SHARDS.iter().enumerate() {
+            let p = rt::fan_in_users(shards, SWEEP_USERS, SOURCES, fi_msgs, SWEEP_PAYLOAD);
+            if best[i].is_none_or(|b| p.msgs_per_sec > b.msgs_per_sec) {
+                best[i] = Some(p);
+            }
+        }
+    }
+    let sweep: Vec<ShardPoint> = best.into_iter().map(|p| p.expect("SWEEP_REPS > 0")).collect();
+    for p in &sweep {
+        eprintln!(
+            "rt_throughput:   {} shards: {:.0} msgs/sec",
+            p.shards, p.msgs_per_sec
+        );
+    }
+    sweep
+}
+
+fn sweep_json(sweep: &[ShardPoint]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in sweep.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"shards\": {}, \"users\": {}, \"sources\": {}, \
+             \"msgs_per_source\": {}, \"payload\": {}, \"wall_s\": {:.6}, \
+             \"msgs_per_sec\": {:.1}}}",
+            p.shards, p.users, p.sources, p.msgs_per_source, p.payload, p.wall_s, p.msgs_per_sec
+        );
+        s.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ]");
+    s
+}
+
+/// Gates the sweep: monotone non-decreasing (within [`SWEEP_TOLERANCE`])
+/// across consecutive shard counts, and a strict speedup from the first
+/// to the last point when the host actually has parallel cores.
+fn check_sweep(sweep: &[ShardPoint]) -> Result<(), String> {
+    for w in sweep.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if b.msgs_per_sec < a.msgs_per_sec * (1.0 - SWEEP_TOLERANCE) {
+            return Err(format!(
+                "sweep NOT monotone: {} shards {:.0} msgs/sec -> {} shards {:.0} msgs/sec \
+                 (> {:.0}% dip)",
+                a.shards,
+                a.msgs_per_sec,
+                b.shards,
+                b.msgs_per_sec,
+                SWEEP_TOLERANCE * 100.0
+            ));
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cores > 1 {
+        let (first, last) = (&sweep[0], &sweep[sweep.len() - 1]);
+        if last.msgs_per_sec <= first.msgs_per_sec {
+            return Err(format!(
+                "no sharding speedup on a {cores}-core host: {} shards {:.0} msgs/sec vs \
+                 {} shards {:.0} msgs/sec",
+                first.shards, first.msgs_per_sec, last.shards, last.msgs_per_sec
+            ));
+        }
+    } else {
+        eprintln!("rt_throughput: single-core host; strict sweep speedup not asserted");
+    }
+    Ok(())
 }
 
 fn plane_json(pp: &PingPong, fi: &FanIn) -> String {
@@ -129,9 +257,16 @@ fn main() -> ExitCode {
     let lockfree = if args.baseline_locked {
         None
     } else {
-        Some(run_plane("lock-free", false, pp_rounds, fi_msgs))
+        Some(run_plane("lock-free", false, pp_rounds, fi_msgs, args.shards))
     };
-    let locked = run_plane("locked baseline", true, pp_rounds, fi_msgs);
+    let locked = run_plane("locked baseline", true, pp_rounds, fi_msgs, args.shards);
+    // The proxies×users sweep is a full-mode, lock-free-plane measurement
+    // with its own shard axis; --quick (CI smoke) skips it for time.
+    let sweep = if args.quick || args.baseline_locked {
+        Vec::new()
+    } else {
+        run_sweep(fi_msgs)
+    };
 
     let mut doc = format!(
         "{{\n{}  \"after\": {{\n",
@@ -139,10 +274,14 @@ fn main() -> ExitCode {
     );
     let _ = writeln!(doc, "    \"label\": \"{}\",", args.label);
     let _ = writeln!(doc, "    \"mode\": \"{mode}\",");
+    let _ = writeln!(doc, "    \"shards\": {},", args.shards);
     if let Some((pp, fi)) = &lockfree {
         let _ = writeln!(doc, "    \"lockfree\": {},", plane_json(pp, fi));
     }
     let _ = writeln!(doc, "    \"locked\": {},", plane_json(&locked.0, &locked.1));
+    if !sweep.is_empty() {
+        let _ = writeln!(doc, "    \"shard_sweep\": {},", sweep_json(&sweep));
+    }
     if let Some((pp, fi)) = &lockfree {
         let speedup_fanin = fi.msgs_per_sec / locked.1.msgs_per_sec;
         let speedup_p50 = locked.0.p50_us / pp.p50_us;
@@ -194,6 +333,13 @@ fn main() -> ExitCode {
             "rt_throughput: check ok: {:.0} msgs/sec vs recorded {recorded:.0} (floor {floor:.0})",
             fi.msgs_per_sec
         );
+        if !sweep.is_empty() {
+            if let Err(e) = check_sweep(&sweep) {
+                eprintln!("rt_throughput: REGRESSION: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("rt_throughput: shard sweep check ok");
+        }
     }
     ExitCode::SUCCESS
 }

@@ -275,6 +275,262 @@ pub fn kill_sink_fan_in(seed: u64, per_sender: u64) -> ScenarioResult {
     kill_fan_in("kill_sink_fan_in", seed, 2, per_sender, 25, false)
 }
 
+/// Sums `OpsApplied` over every scope of `node`, whether the run was
+/// sharded (`node0s0`, `node0s1`, ...) or not (`node0`).
+fn node_applied(snap: &Snapshot, node: usize) -> u64 {
+    let plain = format!("node{node}");
+    let sharded = format!("node{node}s");
+    snap.scopes
+        .iter()
+        .filter(|sc| sc.name == plain || sc.name.starts_with(&sharded))
+        .map(|sc| sc.counter(Ctr::OpsApplied))
+        .sum()
+}
+
+/// Polls until `asid` sits on `shard` (a previously issued migration
+/// completed) or the [`WAIT`] deadline passes.
+fn await_shard(cluster: &mproxy_rt::RtCluster, asid: u32, shard: usize) -> Result<(), String> {
+    let deadline = Instant::now() + WAIT;
+    while cluster.shard_of(asid) != shard {
+        if Instant::now() >= deadline {
+            return Err(format!("asid {asid} never reached shard {shard}"));
+        }
+        std::thread::yield_now();
+    }
+    Ok(())
+}
+
+/// Shard-targeted kill: node 0 runs two proxy shards serving one sink
+/// user each; the injector kills only shard 0, supervision respawns it,
+/// and the run must show (a) the tagged-payload exactly-once contract on
+/// *both* sinks' queues and (b) the sibling shard staying live — its
+/// sender keeps streaming under the same recovery bound while shard 0 is
+/// down.
+#[must_use]
+pub fn shard_kill_fan_in(seed: u64, per_sender: u64) -> ScenarioResult {
+    let mut result = ScenarioResult {
+        name: "shard_kill_fan_in".into(),
+        seed,
+        passed: true,
+        acked_ops: 0,
+        deaths: 0,
+        restarts: 0,
+        max_ack_wait_ms: 0.0,
+        failure: String::new(),
+        shutdown_json: String::new(),
+        obs: None,
+    };
+    let senders = 2usize;
+    let kill_after = 10 + seed % 30;
+    let mut b = RtClusterBuilder::new(senders + 1);
+    b.shards(2);
+    let sink_asids: Vec<u32> = (0..2).map(|_| b.add_process(0, 1 << 16)).collect();
+    let src_asids: Vec<u32> = (1..=senders).map(|n| b.add_process(n, 1 << 16)).collect();
+    b.fault_plan(RtFaultPlan::new(seed).kill_shard(0, 0, kill_after));
+    b.supervise(3, Duration::from_millis(1));
+    let (cluster, mut eps) = b.start();
+    let src_eps = eps.split_off(2);
+    let sink_eps = eps;
+
+    // The stable hash may land both sinks on one shard; separate them so
+    // shard 0 has a victim queue and shard 1 a surviving one.
+    for (i, &a) in sink_asids.iter().enumerate() {
+        if cluster.shard_of(a) != i {
+            cluster.migrate_asid(a, i);
+            if let Err(why) = await_shard(&cluster, a, i) {
+                result = result.fail(why);
+            }
+        }
+    }
+
+    let handles: Vec<_> = src_eps
+        .into_iter()
+        .zip(src_asids.iter().copied())
+        .enumerate()
+        .map(|(i, (mut e, asid))| {
+            // Sender i feeds sink i: sender 0's stream crosses the killed
+            // shard, sender 1's stream must never notice.
+            let dst = sink_asids[i];
+            std::thread::spawn(move || -> Result<AckClock, String> {
+                let mut clock = AckClock::new();
+                for op in 1..=per_sender {
+                    e.seg().write_u64(0, (u64::from(asid) << 32) | op);
+                    e.enq(0, dst, RqId(0), 8, Some(FlagId(0)), None);
+                    clock
+                        .wait(&e, FlagId(0), op)
+                        .map_err(|err| format!("sender {asid} op {op}: {err}"))?;
+                }
+                Ok(clock)
+            })
+        })
+        .collect();
+
+    let mut max_wait = Duration::ZERO;
+    for h in handles {
+        match h.join().expect("sender thread") {
+            Ok(clock) => {
+                result.acked_ops += clock.acked;
+                max_wait = max_wait.max(clock.max_wait);
+            }
+            Err(why) => result = result.fail(why),
+        }
+    }
+    result.max_ack_wait_ms = max_wait.as_secs_f64() * 1e3;
+    if result.passed {
+        for (i, sink) in sink_eps.iter().enumerate() {
+            match drain_u64s(sink, RqId(0), per_sender as usize) {
+                Ok(got) => {
+                    if let Err(why) = check_exactly_once(&got, &src_asids[i..=i], per_sender) {
+                        result = result.fail(format!("sink {i}: {why}"));
+                    }
+                }
+                Err(why) => result = result.fail(format!("sink {i}: {why}")),
+            }
+        }
+    }
+    result.deaths = cluster.deaths(0);
+    result.restarts = cluster.restarts_total();
+    if result.passed && result.deaths == 0 {
+        result = result.fail("injected kill on node 0 shard 0 never fired".into());
+    }
+    let hub = cluster.obs_handle();
+    let report = cluster.shutdown();
+    result.shutdown_json = report.to_json();
+    if result.passed && !report.clean() {
+        result = result.fail(format!("unclean shutdown: {report:?}"));
+    }
+    let snap = hub.snapshot(&result.name);
+    if result.passed {
+        if let Err(why) = telemetry_truth(&snap) {
+            result = result.fail(format!("telemetry vs truth: {why}"));
+        }
+        let want = senders as u64 * per_sender;
+        let applied = node_applied(&snap, 0);
+        if applied != want {
+            result = result.fail(format!(
+                "sink node ops_applied {applied} != {want} verified deliveries"
+            ));
+        }
+    }
+    result.obs = Some(snap);
+    result
+}
+
+/// Seeded rebalance-under-load: two senders flood tagged payloads at one
+/// hot sink on a two-shard node while the sink is migrated back and
+/// forth between shards (and a lightly lossy wire keeps the go-back-N
+/// layer honest); the sink's queue must still show every payload exactly
+/// once, in order, across every handoff epoch.
+#[must_use]
+pub fn rebalance_under_load(seed: u64, per_sender: u64) -> ScenarioResult {
+    let mut result = ScenarioResult {
+        name: "rebalance_under_load".into(),
+        seed,
+        passed: true,
+        acked_ops: 0,
+        deaths: 0,
+        restarts: 0,
+        max_ack_wait_ms: 0.0,
+        failure: String::new(),
+        shutdown_json: String::new(),
+        obs: None,
+    };
+    let senders = 2usize;
+    let mut b = RtClusterBuilder::new(senders + 1);
+    b.shards(2);
+    let sink_asid = b.add_process(0, 1 << 16);
+    let src_asids: Vec<u32> = (1..=senders).map(|n| b.add_process(n, 1 << 16)).collect();
+    b.fault_plan(RtFaultPlan::new(seed).drop(0.02).duplicate(0.02));
+    let (cluster, mut eps) = b.start();
+    let src_eps = eps.split_off(1);
+    let sink = eps.pop().expect("sink endpoint");
+
+    let handles: Vec<_> = src_eps
+        .into_iter()
+        .zip(src_asids.iter().copied())
+        .map(|(mut e, asid)| {
+            std::thread::spawn(move || -> Result<AckClock, String> {
+                let mut clock = AckClock::new();
+                for op in 1..=per_sender {
+                    e.seg().write_u64(0, (u64::from(asid) << 32) | op);
+                    e.enq(0, sink_asid, RqId(0), 8, Some(FlagId(0)), None);
+                    clock
+                        .wait(&e, FlagId(0), op)
+                        .map_err(|err| format!("sender {asid} op {op}: {err}"))?;
+                }
+                Ok(clock)
+            })
+        })
+        .collect();
+
+    // Mid-flood rebalances: bounce the hot asid between the two shards a
+    // few times at seed-derived offsets, waiting out each handoff.
+    let mut migrations = 0u64;
+    for k in 0..3u64 {
+        std::thread::sleep(Duration::from_millis(3 + (seed.wrapping_mul(13) + k * 7) % 17));
+        let target = 1 - cluster.shard_of(sink_asid);
+        if cluster.migrate_asid(sink_asid, target) {
+            if let Err(why) = await_shard(&cluster, sink_asid, target) {
+                result = result.fail(why);
+                break;
+            }
+            migrations += 1;
+        }
+    }
+
+    let mut max_wait = Duration::ZERO;
+    for h in handles {
+        match h.join().expect("sender thread") {
+            Ok(clock) => {
+                result.acked_ops += clock.acked;
+                max_wait = max_wait.max(clock.max_wait);
+            }
+            Err(why) => result = result.fail(why),
+        }
+    }
+    result.max_ack_wait_ms = max_wait.as_secs_f64() * 1e3;
+    if result.passed && migrations == 0 {
+        result = result.fail("no migration completed mid-flood".into());
+    }
+    if result.passed && cluster.migrations_total() < migrations {
+        result = result.fail(format!(
+            "migrations_total {} < {migrations} handoffs observed",
+            cluster.migrations_total()
+        ));
+    }
+    if result.passed {
+        match drain_u64s(&sink, RqId(0), senders * per_sender as usize) {
+            Ok(got) => {
+                if let Err(why) = check_exactly_once(&got, &src_asids, per_sender) {
+                    result = result.fail(why);
+                }
+            }
+            Err(why) => result = result.fail(why),
+        }
+    }
+    let hub = cluster.obs_handle();
+    let report = cluster.shutdown();
+    result.shutdown_json = report.to_json();
+    if result.passed && !report.clean() {
+        result = result.fail(format!("unclean shutdown: {report:?}"));
+    }
+    let snap = hub.snapshot(&result.name);
+    if result.passed {
+        if let Err(why) = telemetry_truth(&snap) {
+            result = result.fail(format!("telemetry vs truth: {why}"));
+        }
+        let want = senders as u64 * per_sender;
+        let applied = node_applied(&snap, 0);
+        if applied != want {
+            result = result.fail(format!(
+                "sink node ops_applied {applied} != {want} verified deliveries"
+            ));
+        }
+    }
+    result.obs = Some(snap);
+    result
+}
+
 /// Kill one sender's proxy mid-fan-in.
 #[must_use]
 pub fn kill_sender_fan_in(seed: u64, per_sender: u64) -> ScenarioResult {
@@ -561,6 +817,14 @@ mod tests {
         let r = kill_sink_fan_in(11, 40);
         assert!(r.passed, "{}", r.failure);
         let r = corrupt_under_load(12, 150);
+        assert!(r.passed, "{}", r.failure);
+    }
+
+    #[test]
+    fn sharded_scenarios_smoke() {
+        let r = shard_kill_fan_in(13, 40);
+        assert!(r.passed, "{}", r.failure);
+        let r = rebalance_under_load(14, 40);
         assert!(r.passed, "{}", r.failure);
     }
 }

@@ -12,7 +12,12 @@
 //!   window; sustained messages/sec exposes the hot-path queue mechanics
 //!   (one mutex per push/pop and one ACK packet per message on the
 //!   baseline, versus CAS claims and per-batch coalesced ACKs on the
-//!   rings).
+//!   rings);
+//! * **multi-user fan-in** ([`fan_in_users`]) — the proxies×users sweep
+//!   point: several sink *users* share node 0 and the sources spray
+//!   round-robin across them, so with `--shards N` the sink node's
+//!   command-queue service parallelizes across shard threads instead of
+//!   serializing behind one proxy.
 
 use std::time::{Duration, Instant};
 
@@ -82,8 +87,19 @@ pub fn ping_pong(locked: bool, rounds: u64) -> PingPong {
 /// `telemetry` arms histograms and flight recorders).
 #[must_use]
 pub fn ping_pong_cfg(locked: bool, rounds: u64, telemetry: bool) -> PingPong {
+    ping_pong_inner(locked, rounds, telemetry, 1)
+}
+
+/// [`ping_pong`] with the per-node proxy-shard count exposed.
+#[must_use]
+pub fn ping_pong_shards(locked: bool, rounds: u64, shards: usize) -> PingPong {
+    ping_pong_inner(locked, rounds, true, shards)
+}
+
+fn ping_pong_inner(locked: bool, rounds: u64, telemetry: bool, shards: usize) -> PingPong {
     let mut b = RtClusterBuilder::new(2);
     b.telemetry(telemetry);
+    b.shards(shards);
     if locked {
         b.locked_data_plane();
     }
@@ -144,9 +160,32 @@ pub fn fan_in(locked: bool, sources: usize, msgs_per_source: u64) -> FanIn {
 /// Panics if any wait times out (a wedged data plane).
 #[must_use]
 pub fn fan_in_cfg(locked: bool, sources: usize, msgs_per_source: u64, telemetry: bool) -> FanIn {
+    fan_in_inner(locked, sources, msgs_per_source, telemetry, 1)
+}
+
+/// [`fan_in`] with the per-node proxy-shard count exposed. One sink
+/// still means one busy shard — this measures the *no-tax* axis, not
+/// the scaling axis (that is [`fan_in_users`]).
+///
+/// # Panics
+///
+/// Panics if any wait times out (a wedged data plane).
+#[must_use]
+pub fn fan_in_shards(locked: bool, sources: usize, msgs_per_source: u64, shards: usize) -> FanIn {
+    fan_in_inner(locked, sources, msgs_per_source, true, shards)
+}
+
+fn fan_in_inner(
+    locked: bool,
+    sources: usize,
+    msgs_per_source: u64,
+    telemetry: bool,
+    shards: usize,
+) -> FanIn {
     assert!((1..=63).contains(&sources), "1..=63 sources");
     let mut b = RtClusterBuilder::new(sources + 1);
     b.telemetry(telemetry);
+    b.shards(shards);
     if locked {
         b.locked_data_plane();
     }
@@ -196,6 +235,122 @@ pub fn fan_in_cfg(locked: bool, sources: usize, msgs_per_source: u64, telemetry:
     }
 }
 
+/// One point of the proxies×users sweep: `shards` proxy threads on the
+/// sink node serving `users` sink processes.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPoint {
+    /// Proxy shard threads per node.
+    pub shards: usize,
+    /// Sink processes sharing node 0.
+    pub users: usize,
+    /// Source processes (each on its own node).
+    pub sources: usize,
+    /// Messages sent per source (rounded down to a multiple of `users`).
+    pub msgs_per_source: u64,
+    /// PUT payload bytes per message.
+    pub payload: u32,
+    /// Total wall time until every sink observed its deliveries, seconds.
+    pub wall_s: f64,
+    /// Sustained delivered messages per second across all sinks.
+    pub msgs_per_sec: f64,
+}
+
+/// The proxies×users sweep workload (lock-free plane): `users` sink
+/// processes share node 0 and `sources` source processes (one per
+/// node) each spray `msgs_per_source` acknowledged `payload`-byte PUTs
+/// round-robin across the sinks under a [`WINDOW`]-deep outstanding
+/// window. The sink node's shard table spreads the sinks' command
+/// queues over `shards` proxy threads, so delivery work that serializes
+/// behind one proxy at `shards=1` runs in parallel when cores allow.
+/// Callers pick the payload: the sweep wants bulk frames (the proxy's
+/// per-message copy dominates, so the curve measures data-plane
+/// scaling), while tiny frames mostly measure per-frame bookkeeping.
+///
+/// # Panics
+///
+/// Panics if any wait times out (a wedged data plane), if
+/// `msgs_per_source < users`, or if the sink segment cannot hold every
+/// source's landing region at the given payload.
+#[must_use]
+pub fn fan_in_users(
+    shards: usize,
+    users: usize,
+    sources: usize,
+    msgs_per_source: u64,
+    payload: u32,
+) -> ShardPoint {
+    assert!((1..=63).contains(&sources), "1..=63 sources");
+    assert!(users >= 1, "at least one sink user");
+    // Round-robin spraying lands an exact per-sink count only when each
+    // source's message count is a multiple of `users`.
+    let msgs_per_source = msgs_per_source - (msgs_per_source % users as u64);
+    assert!(msgs_per_source > 0, "msgs_per_source < users");
+    // Each source lands in its own 4 KiB-aligned region of the sink
+    // segment; the last region must still fit.
+    const SINK_SEG: u64 = 1 << 17;
+    assert!(payload >= 1 && u64::from(payload) <= 4096, "payload in 1..=4096");
+    assert!(
+        (users + sources) as u64 * 4096 + u64::from(payload) <= SINK_SEG,
+        "sink segment too small for the source landing regions"
+    );
+
+    let mut b = RtClusterBuilder::new(sources + 1);
+    b.shards(shards);
+    let sink_asids: Vec<u32> = (0..users)
+        .map(|_| b.add_process(0, SINK_SEG as usize))
+        .collect();
+    let src_asids: Vec<u32> = (1..=sources).map(|n| b.add_process(n, 4096)).collect();
+    let (cluster, mut eps) = b.start();
+    let src_eps: Vec<_> = eps.split_off(users);
+    let sink_eps = eps;
+
+    let per_sink = sources as u64 * msgs_per_source / users as u64;
+    let total = msgs_per_source * sources as u64;
+    let t0 = Instant::now();
+    let senders: Vec<_> = src_eps
+        .into_iter()
+        .zip(src_asids)
+        .map(|(mut e, asid)| {
+            let sinks = sink_asids.clone();
+            std::thread::spawn(move || {
+                e.seg().write(0, &vec![0x5A; payload as usize]);
+                let raddr = u64::from(asid) * 4096;
+                let acked = FlagId(1);
+                for i in 1..=msgs_per_source {
+                    let dst = sinks[((i - 1) % sinks.len() as u64) as usize];
+                    e.put(0, dst, raddr, payload, Some(acked), Some(FlagId(0)));
+                    if i > WINDOW {
+                        e.wait_flag_timeout(acked, i - WINDOW, WAIT)
+                            .expect("window wait");
+                    }
+                }
+                e.wait_flag_timeout(acked, msgs_per_source, WAIT)
+                    .expect("final ack wait");
+            })
+        })
+        .collect();
+
+    for sink in &sink_eps {
+        sink.wait_flag_timeout(FlagId(0), per_sink, WAIT)
+            .expect("sink delivery wait");
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    for s in senders {
+        s.join().expect("sender thread");
+    }
+    cluster.shutdown();
+
+    ShardPoint {
+        shards,
+        users,
+        sources,
+        msgs_per_source,
+        payload,
+        wall_s,
+        msgs_per_sec: total as f64 / wall_s,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +379,12 @@ mod tests {
             let r = fan_in(locked, 2, 300);
             assert!(r.msgs_per_sec > 0.0, "locked={locked}");
         }
+    }
+
+    #[test]
+    fn fan_in_users_smoke_sharded() {
+        let r = fan_in_users(2, 4, 2, 302, 64);
+        assert_eq!(r.msgs_per_source, 300, "rounded to a users multiple");
+        assert!(r.msgs_per_sec > 0.0);
     }
 }

@@ -61,9 +61,29 @@
 //! [`RtError::ProxyDown`] with the panic reason, and shutdown completes.
 //! [`RtCluster::shutdown`] is deadline-bounded and reports wedged proxies
 //! instead of joining them forever.
+//!
+//! # Sharded proxies
+//!
+//! A node may run several proxy *shard lanes*
+//! ([`RtClusterBuilder::shards`] / [`RtClusterBuilder::elastic_shards`]):
+//! every per-node structure above — wire ring, parker, [`NodeState`],
+//! seat, epoch, health, telemetry scope — is really per *lane*
+//! (`lane = node · shards + shard`), and the sequenced wire layer runs
+//! per (sender-lane, destination-lane) stream, so the exactly-once
+//! invariant is untouched by sharding. A per-node [`ShardTable`] maps
+//! each local asid to its serving shard (stable jump-consistent hash of
+//! the asid over the active shard count); senders route on the
+//! *receive side's* table and pin a per-asid route until their in-flight
+//! frames toward the old lane drain, which preserves per-(sender, asid)
+//! FIFO across rebalancing. Asids migrate between lanes with a
+//! quiesce → drain → retarget handoff (see `process_migrations`); an
+//! elastic controller riding the watchdog scales the active shard count
+//! within `[min, max]` off the per-shard busy-fraction signal. The
+//! default is one shard per node, which is bit-for-bit the pre-sharding
+//! topology.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -79,8 +99,18 @@ use crate::ring::Ring;
 use crate::spsc::{self, Entry};
 use crate::supervisor::SupervisorCfg;
 
-/// A node's command-queue consumers, tagged with the owning asid.
-pub(crate) type Seat = Vec<(u32, spsc::Consumer)>;
+/// One command-queue consumer held by a proxy lane, tagged with the
+/// owning asid and the §4.1 ready bit it arms. Qbits are assigned per
+/// *node* and stable for the process's lifetime, so a queue keeps its
+/// bit when it migrates between the node's shard lanes.
+pub(crate) struct SeatEntry {
+    pub(crate) asid: u32,
+    pub(crate) qbit: u32,
+    pub(crate) q: spsc::Consumer,
+}
+
+/// A lane's command-queue consumers.
+pub(crate) type Seat = Vec<SeatEntry>;
 
 /// Synchronisation flags per process.
 pub const NUM_FLAGS: usize = 64;
@@ -144,9 +174,47 @@ const STOP_FLUSH_TRIES: u32 = 10_000;
 /// proxy thread is reported and detached rather than joined past this.
 const DEFAULT_SHUTDOWN_DEADLINE: Duration = Duration::from_secs(10);
 
+/// Most shard lanes a node may be configured with (the qbit word is the
+/// binding limit for processes; this bounds thread count and the
+/// per-lane stream tables).
+pub const MAX_SHARDS: usize = 8;
+
+/// Consecutive watchdog ticks every active lane of a node must sit
+/// under [`RECOVERY_UTILIZATION`] before the elastic controller shrinks
+/// the node by one shard (hysteresis against load dips).
+const SHRINK_IDLE_TICKS: u32 = 8;
+
+/// Watchdog ticks the elastic controller stays hands-off on a node
+/// after any scaling action, letting migrations complete and the
+/// utilisation signal re-settle before the next decision.
+const SCALE_COOLDOWN_TICKS: u32 = 8;
+
 const OP_PUT: u32 = 1;
 const OP_GET: u32 = 2;
 const OP_ENQ: u32 = 3;
+
+/// Jump consistent hash (Lamping & Veach): maps `key` to a bucket in
+/// `0..buckets` such that growing `buckets` by one moves only
+/// `~1/(buckets+1)` of the keys and shrinking moves only the keys of
+/// the removed bucket — the "stable hash" behind the shard table, so
+/// elastic scaling migrates the minimum number of asids.
+fn jump_hash(mut key: u64, buckets: u32) -> u32 {
+    debug_assert!(buckets > 0);
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < i64::from(buckets) {
+        b = j;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        {
+            j = (((b + 1) as f64) * (f64::from(1u32 << 31) / (((key >> 33) + 1) as f64))) as i64;
+        }
+    }
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    {
+        b as u32
+    }
+}
 
 /// A synchronisation-flag slot (monotone counter).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,6 +272,8 @@ impl std::error::Error for RtError {}
 pub struct ProxyPanic {
     /// The node whose proxy was dead when the cluster shut down.
     pub node: usize,
+    /// The shard lane on that node (0 on an unsharded cluster).
+    pub shard: usize,
     /// Its panic payload, when it was a string.
     pub reason: Option<String>,
 }
@@ -233,8 +303,8 @@ impl ShutdownReport {
 
     /// Stable single-line JSON serialization (the shape `rt_chaos`
     /// embeds per scenario in `BENCH_chaos.json`):
-    /// `{"clean":bool,"restarts":n,"panicked":[{"node":n,"reason":s?}],
-    /// "wedged":[n]}`.
+    /// `{"clean":bool,"restarts":n,"panicked":[{"node":n,"shard":s,
+    /// "reason":s?}],"wedged":[n]}`.
     #[must_use]
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
@@ -249,7 +319,7 @@ impl ShutdownReport {
             if i > 0 {
                 s.push(',');
             }
-            let _ = write!(s, "{{\"node\":{}", p.node);
+            let _ = write!(s, "{{\"node\":{},\"shard\":{}", p.node, p.shard);
             if let Some(r) = &p.reason {
                 let _ = write!(s, ",\"reason\":\"{}\"", mproxy_obs::json::esc(r));
             }
@@ -393,6 +463,76 @@ impl RqStore {
             RqStore::Ring(r) => r.try_pop(),
         }
     }
+}
+
+/// Per-node map from local asid to serving shard slot, plus the node's
+/// active shard count. The table is *load-balancing*, not correctness:
+/// any lane of a node can apply inbound operations for any local asid
+/// (segments, flags and reply rings live in [`ProcShared`], shared by
+/// all lanes); the slot decides which lane drains the asid's command
+/// queue and which lane new inbound frames are routed to. Slots are
+/// indexed by global asid and only meaningful for asids homed on this
+/// node. Slot stores are `Release` (by the lane completing a handoff)
+/// and loads `Acquire`, pairing with the seat-install in the new lane.
+pub(crate) struct ShardTable {
+    slots: Vec<AtomicU32>,
+    active: AtomicU32,
+}
+
+impl ShardTable {
+    fn new(procs: usize, active: u32) -> ShardTable {
+        ShardTable {
+            slots: (0..procs).map(|_| AtomicU32::new(0)).collect(),
+            active: AtomicU32::new(active),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, asid: u32) -> u32 {
+        self.slots[asid as usize].load(Ordering::Acquire)
+    }
+
+    fn set_slot(&self, asid: u32, shard: u32) {
+        self.slots[asid as usize].store(shard, Ordering::Release);
+    }
+
+    fn active(&self) -> u32 {
+        self.active.load(Ordering::Acquire)
+    }
+
+    fn set_active(&self, n: u32) {
+        self.active.store(n, Ordering::Release);
+    }
+}
+
+/// A migration request mailed to an owning lane by the elastic
+/// controller (or [`RtCluster::migrate_asid`]); lives in `Shared` so it
+/// survives proxy incarnations.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MigrOrder {
+    asid: u32,
+    dst_lane: usize,
+}
+
+/// An in-progress handoff held by the owning lane. `marks[d]` is the
+/// highest sequence this lane had sent toward lane `d` when the quiesce
+/// began; once `acked >= marks[d]` for every live `d`, all frames the
+/// migrating asid could have contributed are applied at their
+/// destinations, so re-sourcing its commands from another lane cannot
+/// reorder. Lives in [`NodeState`], so a mid-handoff proxy death
+/// resumes the drain in the next incarnation.
+struct Migration {
+    asid: u32,
+    qbit: u32,
+    dst_lane: usize,
+    marks: Vec<u64>,
+}
+
+/// Elastic scaling bounds ([`RtClusterBuilder::elastic_shards`]).
+#[derive(Debug, Clone, Copy)]
+struct ElasticRange {
+    min: u32,
+    max: u32,
 }
 
 /// Per-node load and overload state, written by the proxy and the
@@ -619,21 +759,33 @@ pub(crate) struct NodeState {
     pending_wire: Vec<VecDeque<WireMsg>>,
     /// Accepted local deliveries whose reply ring was full.
     pending_rq: VecDeque<PendingEnq>,
+    /// In-progress shard handoffs (quiescing/draining asids owned by
+    /// this lane). Empty on an unsharded cluster.
+    migr: Vec<Migration>,
+    /// Sharded-send route pinning, keyed by destination asid:
+    /// `(dst_lane, in_flight)`. A route is re-read from the destination
+    /// node's shard table only when `in_flight == 0`, so all frames
+    /// toward an asid drain through the old lane before the first frame
+    /// takes the new one — per-(sender, asid) FIFO survives the asid
+    /// migrating. Untouched (empty) when the cluster is unsharded.
+    routes: HashMap<u32, (usize, u32)>,
     /// Decimation tick for sampled telemetry (see [`OBS_SAMPLE_MASK`]).
     obs_tick: u64,
 }
 
 impl NodeState {
-    fn new(nodes: usize, now: Instant) -> NodeState {
+    fn new(lanes: usize, now: Instant) -> NodeState {
         NodeState {
             epoch: 0,
             hello_pending: false,
             next_token: 0,
             ccbs: HashMap::new(),
-            tx: (0..nodes).map(|_| TxPeer::new(now)).collect(),
-            rx: (0..nodes).map(|_| RxPeer::default()).collect(),
-            pending_wire: (0..nodes).map(|_| VecDeque::new()).collect(),
+            tx: (0..lanes).map(|_| TxPeer::new(now)).collect(),
+            rx: (0..lanes).map(|_| RxPeer::default()).collect(),
+            pending_wire: (0..lanes).map(|_| VecDeque::new()).collect(),
             pending_rq: VecDeque::new(),
+            migr: Vec::new(),
+            routes: HashMap::new(),
             obs_tick: 0,
         }
     }
@@ -653,36 +805,66 @@ pub(crate) struct Shared {
     perms: RwLock<HashSet<(u32, u32)>>,
     allow_all: AtomicBool,
     pub(crate) stop: AtomicBool,
-    wires: Vec<Wire>,
-    pub(crate) parkers: Vec<Parker>, // per node, wakes the proxy thread
-    ops_serviced: Vec<Arc<AtomicU64>>, // per node
-    /// Per node: the proxy is currently dead (set after unwinding, after
+    /// Shard lanes per node (the *maximum*; lanes past a node's active
+    /// count idle until the elastic controller grows into them). Every
+    /// `Vec` below commented "per lane" is indexed by
+    /// `lane = node · shards + shard`; at `shards == 1` a lane is a node.
+    pub(crate) shards: usize,
+    /// Elastic scaling bounds; `None` means the shard count is fixed.
+    elastic: Option<ElasticRange>,
+    /// Per node: the asid → shard map and active shard count.
+    pub(crate) tables: Vec<ShardTable>,
+    /// Per node: qbit → asid (the reverse of each seat entry's mapping;
+    /// lets a lane forward a ready bit for a queue it no longer owns).
+    node_qbits: Vec<Vec<u32>>,
+    /// Per lane: migration orders mailed by the controller, taken by the
+    /// owning lane at the top of its loop.
+    migr_orders: Vec<Mutex<Vec<MigrOrder>>>,
+    /// Per lane: cheap flag for the order mailbox.
+    migr_pending: Vec<AtomicBool>,
+    /// Per lane: consumers handed over by a completed migration, waiting
+    /// for the destination lane to install them in its seat.
+    shard_inbox: Vec<Mutex<Vec<SeatEntry>>>,
+    /// Per lane: cheap flag for the handoff inbox.
+    inbox_ready: Vec<AtomicBool>,
+    /// Per node: migrations issued but not yet completed or aborted
+    /// (the controller defers scaling while any are in flight).
+    migr_outstanding: Vec<AtomicU64>,
+    /// Completed shard migrations, cluster-wide.
+    migrations_total: AtomicU64,
+    wires: Vec<Wire>,                  // per lane
+    pub(crate) parkers: Vec<Parker>,   // per lane, wakes the proxy thread
+    ops_serviced: Vec<Arc<AtomicU64>>, // per lane
+    /// Per lane: the proxy is currently dead (set after unwinding, after
     /// the seat and panic reason are back; cleared by a respawn).
     pub(crate) panicked: Vec<AtomicBool>,
-    /// Per node: permanently dead — no respawn will come. Peers purge
-    /// traffic towards condemned nodes; waits abort against them.
+    /// Per lane: permanently dead — no respawn will come. Peers purge
+    /// traffic towards condemned lanes; waits abort against them.
     pub(crate) condemned: Vec<AtomicBool>,
     /// Cheap gate for the per-loop condemnation scan.
     any_condemned: AtomicBool,
-    /// Mirror of each node's epoch for lock-free queries.
+    /// Mirror of each lane's epoch for lock-free queries.
     pub(crate) epochs: Vec<AtomicU64>,
-    /// Times each node's proxy has panicked.
+    /// Times each lane's proxy has panicked.
     deaths: Vec<AtomicU64>,
     /// Total supervisor respawns.
     pub(crate) restarts_total: AtomicU64,
-    /// Last panic payload per node, when it was a string.
+    /// Last panic payload per lane, when it was a string.
     pub(crate) panic_reasons: Vec<Mutex<Option<String>>>,
-    /// The per-node protocol state (see [`NodeState`]).
+    /// The per-lane protocol state (see [`NodeState`]).
     pub(crate) node_state: Vec<Mutex<NodeState>>,
-    /// The node's command-queue consumers, parked here whenever no proxy
-    /// incarnation is running; each incarnation takes the seat and
+    /// Each lane's command-queue consumers, parked here whenever no
+    /// proxy incarnation is running; each incarnation takes the seat and
     /// returns it on the way out (even by panic).
     pub(crate) seats: Vec<Mutex<Option<Seat>>>,
-    /// The §4.1 ready-bit word per node (shared with the endpoints).
+    /// The §4.1 ready-bit word per lane (shared with the endpoints).
+    /// Bit positions are per-*node* qbits, so a queue's bit is stable
+    /// across shard migrations; each lane only drains bits for queues
+    /// its seat holds and forwards strays to the owning lane.
     ready_masks: Vec<Arc<AtomicU64>>,
     /// Proxy thread handles, replaced by the supervisor on respawn.
     pub(crate) handles: Mutex<Vec<Option<JoinHandle<()>>>>,
-    health: Vec<Arc<ProxyHealth>>, // per node
+    health: Vec<Arc<ProxyHealth>>, // per lane
     shed_enabled: AtomicBool,
     /// The installed fault injector, if any.
     faults: Option<RtFaultState>,
@@ -695,11 +877,47 @@ pub(crate) struct Shared {
     /// Telemetry registry (see `mproxy-obs`): counters are always on;
     /// histograms and flight recorders follow the hub's recording flag.
     obs_hub: Arc<ObsHub>,
-    /// One telemetry scope per node, indexed like `wires`.
+    /// One telemetry scope per lane, indexed like `wires`.
     pub(crate) obs: Vec<Arc<ObsScope>>,
 }
 
 impl Shared {
+    /// Total shard lanes (`nodes · shards`).
+    #[inline]
+    pub(crate) fn lanes(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// The node a lane belongs to.
+    #[inline]
+    pub(crate) fn lane_node(&self, lane: usize) -> usize {
+        lane / self.shards
+    }
+
+    /// True when more than one shard lane per node exists.
+    #[inline]
+    pub(crate) fn sharded(&self) -> bool {
+        self.shards > 1
+    }
+
+    /// The lane for `(node, shard)`.
+    #[inline]
+    pub(crate) fn lane_of(&self, node: usize, shard: usize) -> usize {
+        node * self.shards + shard
+    }
+
+    /// The lane currently assigned to serve `asid`'s command queue,
+    /// per its node's shard table.
+    #[inline]
+    pub(crate) fn lane_of_asid(&self, asid: u32) -> usize {
+        let node = self.procs[asid as usize].node;
+        if self.shards == 1 {
+            node
+        } else {
+            self.lane_of(node, self.tables[node].slot(asid) as usize)
+        }
+    }
+
     fn allowed(&self, src: u32, dst: u32) -> bool {
         src == dst
             || self.allow_all.load(Ordering::Relaxed)
@@ -720,14 +938,13 @@ impl Shared {
         self.procs[proc as usize].flags[flag as usize].fetch_add(1, Ordering::Release);
     }
 
-    /// First condemned node, if any.
-    fn condemned_node(&self) -> Option<usize> {
+    /// First condemned node, if any (maps the condemned lane back to
+    /// its node for error reporting).
+    fn condemned_lane(&self) -> Option<usize> {
         if !self.any_condemned.load(Ordering::Acquire) {
             return None;
         }
-        self.condemned
-            .iter()
-            .position(|c| c.load(Ordering::Acquire))
+        self.condemned.iter().position(|c| c.load(Ordering::Acquire))
     }
 
     fn panic_reason(&self, node: usize) -> Option<String> {
@@ -746,11 +963,11 @@ impl Shared {
     }
 }
 
-/// Marks `node` permanently dead and wakes everything that might be
+/// Marks `lane` permanently dead and wakes everything that might be
 /// waiting on it (peer proxies purge their traffic towards it on their
 /// next pass; bounded endpoint waits abort).
-pub(crate) fn condemn(shared: &Shared, node: usize) {
-    shared.condemned[node].store(true, Ordering::Release);
+pub(crate) fn condemn(shared: &Shared, lane: usize) {
+    shared.condemned[lane].store(true, Ordering::Release);
     shared.any_condemned.store(true, Ordering::Release);
     for p in &shared.parkers {
         p.wake();
@@ -768,6 +985,8 @@ pub struct RtClusterBuilder {
     fault_plan: Option<RtFaultPlan>,
     supervision: Option<SupervisorCfg>,
     telemetry: bool,
+    shards: usize,
+    elastic: Option<ElasticRange>,
 }
 
 impl RtClusterBuilder {
@@ -789,7 +1008,48 @@ impl RtClusterBuilder {
             fault_plan: None,
             supervision: None,
             telemetry: true,
+            shards: 1,
+            elastic: None,
         }
+    }
+
+    /// Runs `n` proxy shard threads per node, each owning a disjoint
+    /// slice of the node's command queues (partitioned by a per-node
+    /// shard table). `shards(1)` — the default — is the classic one
+    /// proxy per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds [`MAX_SHARDS`].
+    pub fn shards(&mut self, n: usize) -> &mut Self {
+        assert!(
+            (1..=MAX_SHARDS).contains(&n),
+            "shards must be in 1..={MAX_SHARDS}"
+        );
+        self.shards = n;
+        self.elastic = None;
+        self
+    }
+
+    /// Enables elastic shard scaling: each node starts with `min`
+    /// active shards and the watchdog-driven controller grows towards
+    /// `max` under saturation / shrinks back when idle, migrating asids
+    /// between shard lanes with a quiesce → drain → retarget handoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= min <= max <= MAX_SHARDS`.
+    pub fn elastic_shards(&mut self, min: usize, max: usize) -> &mut Self {
+        assert!(
+            min >= 1 && min <= max && max <= MAX_SHARDS,
+            "need 1 <= min <= max <= {MAX_SHARDS}"
+        );
+        self.shards = max;
+        self.elastic = Some(ElasticRange {
+            min: min as u32,
+            max: max as u32,
+        });
+        self
     }
 
     /// Arms or disarms telemetry *recording* (histograms and the
@@ -884,12 +1144,26 @@ impl RtClusterBuilder {
     #[must_use]
     pub fn start(self) -> (RtCluster, Vec<Endpoint>) {
         let nodes = self.nodes;
+        let shards = self.shards;
+        let lanes = nodes * shards;
+        let active0 = self.elastic.map_or(shards as u32, |e| e.min);
         let now = Instant::now();
         let obs_hub = ObsHub::new_at(self.telemetry, now);
-        let obs: Vec<Arc<ObsScope>> = (0..nodes)
-            .map(|n| obs_hub.register(format!("node{n}"), mproxy_obs::DEFAULT_RING_CAP))
+        // Scope names stay `node{n}` in the classic one-proxy-per-node
+        // configuration so existing dashboards / tests are unaffected;
+        // sharded lanes get `node{n}s{s}` (merge with `merged_by`).
+        let obs: Vec<Arc<ObsScope>> = (0..lanes)
+            .map(|l| {
+                let (n, s) = (l / shards, l % shards);
+                let name = if shards == 1 {
+                    format!("node{n}")
+                } else {
+                    format!("node{n}s{s}")
+                };
+                obs_hub.register(name, mproxy_obs::DEFAULT_RING_CAP)
+            })
             .collect();
-        let wires: Vec<Wire> = (0..nodes).map(|_| Wire::new(self.locked)).collect();
+        let wires: Vec<Wire> = (0..lanes).map(|_| Wire::new(self.locked)).collect();
         let procs: Vec<Arc<ProcShared>> = self
             .procs
             .iter()
@@ -909,17 +1183,29 @@ impl RtClusterBuilder {
             })
             .collect();
 
-        // Per-process command queues, grouped by node, plus the §4.1
-        // ready-bit vector per node.
-        let mut per_node: Vec<Seat> = (0..nodes).map(|_| Vec::new()).collect();
+        // Per-node asid → shard tables; each asid's initial slot comes
+        // from the jump consistent hash over the initially active count.
+        let tables: Vec<ShardTable> = (0..nodes)
+            .map(|_| ShardTable::new(self.procs.len(), active0))
+            .collect();
+
+        // Per-process command queues, grouped by the serving lane, plus
+        // the §4.1 ready-bit vector per lane. Qbits are assigned per
+        // *node*, so a queue's ready bit is stable across migrations.
+        let mut per_lane: Vec<Seat> = (0..lanes).map(|_| Vec::new()).collect();
+        let mut node_qbits: Vec<Vec<u32>> = (0..nodes).map(|_| Vec::new()).collect();
         let masks: Vec<Arc<AtomicU64>> =
-            (0..nodes).map(|_| Arc::new(AtomicU64::new(0))).collect();
+            (0..lanes).map(|_| Arc::new(AtomicU64::new(0))).collect();
         let mut cmd_txs = Vec::with_capacity(self.procs.len());
         for &(node, _) in &self.procs {
             let (tx, rx) = spsc::channel(CMDQ_DEPTH);
-            let qbit = per_node[node].len() as u32;
+            let asid = cmd_txs.len() as u32;
+            let qbit = node_qbits[node].len() as u32;
             assert!(qbit < 64, "at most 64 processes per node");
-            per_node[node].push((cmd_txs.len() as u32, rx));
+            node_qbits[node].push(asid);
+            let shard = jump_hash(u64::from(asid), active0) as usize;
+            tables[node].set_slot(asid, shard as u32);
+            per_lane[node * shards + shard].push(SeatEntry { asid, qbit, q: rx });
             cmd_txs.push((tx, node, qbit));
         }
 
@@ -928,34 +1214,44 @@ impl RtClusterBuilder {
             perms: RwLock::new(HashSet::new()),
             allow_all: AtomicBool::new(true),
             stop: AtomicBool::new(false),
+            shards,
+            elastic: self.elastic,
+            tables,
+            node_qbits,
+            migr_orders: (0..lanes).map(|_| Mutex::new(Vec::new())).collect(),
+            migr_pending: (0..lanes).map(|_| AtomicBool::new(false)).collect(),
+            shard_inbox: (0..lanes).map(|_| Mutex::new(Vec::new())).collect(),
+            inbox_ready: (0..lanes).map(|_| AtomicBool::new(false)).collect(),
+            migr_outstanding: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            migrations_total: AtomicU64::new(0),
             wires,
-            parkers: (0..nodes).map(|_| Parker::new()).collect(),
-            ops_serviced: (0..nodes)
+            parkers: (0..lanes).map(|_| Parker::new()).collect(),
+            ops_serviced: (0..lanes)
                 .map(|_| Arc::new(AtomicU64::new(0)))
                 .collect(),
-            panicked: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
-            condemned: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            panicked: (0..lanes).map(|_| AtomicBool::new(false)).collect(),
+            condemned: (0..lanes).map(|_| AtomicBool::new(false)).collect(),
             any_condemned: AtomicBool::new(false),
-            epochs: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
-            deaths: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            epochs: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
+            deaths: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
             restarts_total: AtomicU64::new(0),
-            panic_reasons: (0..nodes).map(|_| Mutex::new(None)).collect(),
-            node_state: (0..nodes)
-                .map(|_| Mutex::new(NodeState::new(nodes, now)))
+            panic_reasons: (0..lanes).map(|_| Mutex::new(None)).collect(),
+            node_state: (0..lanes)
+                .map(|_| Mutex::new(NodeState::new(lanes, now)))
                 .collect(),
-            seats: per_node
+            seats: per_lane
                 .into_iter()
                 .map(|s| Mutex::new(Some(s)))
                 .collect(),
-            ready_masks: masks.clone(),
-            handles: Mutex::new((0..nodes).map(|_| None).collect()),
-            health: (0..nodes)
+            ready_masks: masks,
+            handles: Mutex::new((0..lanes).map(|_| None).collect()),
+            health: (0..lanes)
                 .map(|_| Arc::new(ProxyHealth::default()))
                 .collect(),
             shed_enabled: AtomicBool::new(self.shed),
             faults: self
                 .fault_plan
-                .map(|plan| RtFaultState::new(plan, nodes)),
+                .map(|plan| RtFaultState::new(plan, nodes, shards)),
             supervision: self.supervision,
             started: now,
             locked_plane: self.locked,
@@ -966,11 +1262,10 @@ impl RtClusterBuilder {
         let endpoints = cmd_txs
             .into_iter()
             .enumerate()
-            .map(|(i, (tx, node, qbit))| Endpoint {
+            .map(|(i, (tx, _node, qbit))| Endpoint {
                 me: Arc::clone(&shared.procs[i]),
                 shared: Arc::clone(&shared),
                 cmd: tx,
-                ready: Arc::clone(&masks[node]),
                 qbit,
                 next_alloc: 0,
                 obs_tick: 0,
@@ -979,12 +1274,17 @@ impl RtClusterBuilder {
 
         {
             let mut handles = shared.handles.lock().unwrap_or_else(|e| e.into_inner());
-            for (node, slot) in handles.iter_mut().enumerate() {
+            for (lane, slot) in handles.iter_mut().enumerate() {
                 let sh = Arc::clone(&shared);
+                let name = if shards == 1 {
+                    format!("mproxy-{lane}")
+                } else {
+                    format!("mproxy-{}s{}", lane / shards, lane % shards)
+                };
                 *slot = Some(
                     std::thread::Builder::new()
-                        .name(format!("mproxy-{node}"))
-                        .spawn(move || run_proxy(node, sh))
+                        .name(name)
+                        .spawn(move || run_proxy(lane, sh))
                         .expect("spawn proxy thread"),
                 );
             }
@@ -1026,6 +1326,12 @@ pub struct RtCluster {
 }
 
 impl RtCluster {
+    /// The shard lanes belonging to `node`.
+    fn lanes_of(&self, node: usize) -> std::ops::Range<usize> {
+        let s = self.shared.shards;
+        node * s..(node + 1) * s
+    }
+
     /// Disables allow-all: only explicit grants pass the protection check.
     pub fn restrict(&self) {
         self.shared.allow_all.store(false, Ordering::Relaxed);
@@ -1049,82 +1355,118 @@ impl RtCluster {
             .remove(&(src, dst));
     }
 
-    /// Total commands + packets serviced by node `node`'s proxy
-    /// (cumulative across respawns).
+    /// Total commands + packets serviced by node `node`'s proxy lanes
+    /// (cumulative across respawns, summed over shards).
     #[must_use]
     pub fn ops_serviced(&self, node: usize) -> u64 {
-        self.shared.ops_serviced[node].load(Ordering::Relaxed)
+        self.lanes_of(node)
+            .map(|l| self.shared.ops_serviced[l].load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// The watchdog's last utilisation sample for node `node`'s proxy:
-    /// fraction of the sampling period spent servicing work rather than
+    /// The watchdog's last utilisation sample for node `node`: fraction
+    /// of the sampling period spent servicing work rather than
     /// idle-polling, in `[0, 1]`. Zero until the first sample lands.
+    /// With multiple shards this is the **max** over the node's lanes —
+    /// the §5.4 stability bound binds per proxy, and an average would
+    /// hide one saturated shard behind idle siblings.
     #[must_use]
     pub fn utilization(&self, node: usize) -> f64 {
-        f64::from_bits(self.shared.health[node].util_bits.load(Ordering::Relaxed))
+        self.lanes_of(node)
+            .map(|l| f64::from_bits(self.shared.health[l].util_bits.load(Ordering::Relaxed)))
+            .fold(0.0, f64::max)
     }
 
-    /// True while node `node`'s proxy sits above the paper's stable
-    /// utilisation bound (§5.4: past 50% the M/M/1 queueing delay grows
-    /// without bound). Clears once utilisation falls back under
-    /// [`RECOVERY_UTILIZATION`].
+    /// One shard lane's last utilisation sample (see
+    /// [`RtCluster::utilization`]).
+    #[must_use]
+    pub fn shard_utilization(&self, node: usize, shard: usize) -> f64 {
+        let lane = self.shared.lane_of(node, shard);
+        f64::from_bits(self.shared.health[lane].util_bits.load(Ordering::Relaxed))
+    }
+
+    /// True while **any** of node `node`'s proxy lanes sits above the
+    /// paper's stable utilisation bound (§5.4: past 50% the M/M/1
+    /// queueing delay grows without bound). Clears once utilisation
+    /// falls back under [`RECOVERY_UTILIZATION`].
     #[must_use]
     pub fn saturated(&self, node: usize) -> bool {
-        self.shared.health[node].saturated.load(Ordering::Acquire)
+        self.lanes_of(node)
+            .any(|l| self.shared.health[l].saturated.load(Ordering::Acquire))
     }
 
-    /// Number of times node `node`'s proxy has crossed into saturation.
+    /// Number of times node `node`'s proxy lanes have crossed into
+    /// saturation (summed over shards).
     #[must_use]
     pub fn saturation_events(&self, node: usize) -> u64 {
-        self.shared.health[node]
-            .saturation_events
-            .load(Ordering::Relaxed)
+        self.lanes_of(node)
+            .map(|l| {
+                self.shared.health[l]
+                    .saturation_events
+                    .load(Ordering::Relaxed)
+            })
+            .sum()
     }
 
     /// Request packets rejected on node `node` by overload shedding
     /// ([`RtClusterBuilder::enable_shedding`]).
     #[must_use]
     pub fn shed_count(&self, node: usize) -> u64 {
-        self.shared.health[node].shed.load(Ordering::Relaxed)
+        self.lanes_of(node)
+            .map(|l| self.shared.health[l].shed.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Nodes whose proxy is dead *right now* (panicked and not yet
-    /// respawned; a live query).
+    /// Nodes with at least one proxy lane dead *right now* (panicked and
+    /// not yet respawned; a live query).
     #[must_use]
     pub fn panicked_nodes(&self) -> Vec<usize> {
-        self.shared
+        let mut out: Vec<usize> = self
+            .shared
             .panicked
             .iter()
             .enumerate()
             .filter(|(_, p)| p.load(Ordering::Acquire))
-            .map(|(n, _)| n)
-            .collect()
+            .map(|(l, _)| self.shared.lane_node(l))
+            .collect();
+        out.dedup();
+        out
     }
 
-    /// Nodes condemned as permanently dead (crash-looped past the restart
-    /// budget, or died without supervision).
+    /// Nodes with at least one lane condemned as permanently dead
+    /// (crash-looped past the restart budget, or died without
+    /// supervision).
     #[must_use]
     pub fn condemned_nodes(&self) -> Vec<usize> {
-        self.shared
+        let mut out: Vec<usize> = self
+            .shared
             .condemned
             .iter()
             .enumerate()
             .filter(|(_, c)| c.load(Ordering::Acquire))
-            .map(|(n, _)| n)
-            .collect()
+            .map(|(l, _)| self.shared.lane_node(l))
+            .collect();
+        out.dedup();
+        out
     }
 
     /// Node `node`'s current proxy incarnation (0 until the first
-    /// respawn).
+    /// respawn; the max over its shard lanes).
     #[must_use]
     pub fn epoch(&self, node: usize) -> u64 {
-        self.shared.epochs[node].load(Ordering::Relaxed)
+        self.lanes_of(node)
+            .map(|l| self.shared.epochs[l].load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Times node `node`'s proxy has died by panic.
+    /// Times node `node`'s proxy lanes have died by panic (summed over
+    /// shards).
     #[must_use]
     pub fn deaths(&self, node: usize) -> u64 {
-        self.shared.deaths[node].load(Ordering::Relaxed)
+        self.lanes_of(node)
+            .map(|l| self.shared.deaths[l].load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total proxy respawns performed by supervision.
@@ -1133,11 +1475,42 @@ impl RtCluster {
         self.shared.restarts_total.load(Ordering::Relaxed)
     }
 
-    /// The last panic payload recorded for node `node`'s proxy, when it
-    /// was a string.
+    /// The last panic payload recorded for node `node`'s proxy lanes,
+    /// when it was a string (first lane with one recorded).
     #[must_use]
     pub fn panic_reason(&self, node: usize) -> Option<String> {
-        self.shared.panic_reason(node)
+        self.lanes_of(node).find_map(|l| self.shared.panic_reason(l))
+    }
+
+    /// Shard lanes node `node` is currently serving commands on.
+    #[must_use]
+    pub fn active_shards(&self, node: usize) -> usize {
+        self.shared.tables[node].active() as usize
+    }
+
+    /// The shard slot currently assigned to serve `asid`'s command
+    /// queue on its home node.
+    #[must_use]
+    pub fn shard_of(&self, asid: u32) -> usize {
+        let node = self.shared.procs[asid as usize].node;
+        self.shared.tables[node].slot(asid) as usize
+    }
+
+    /// Completed shard migrations, cluster-wide.
+    #[must_use]
+    pub fn migrations_total(&self) -> u64 {
+        self.shared.migrations_total.load(Ordering::Relaxed)
+    }
+
+    /// Requests a handoff of `asid`'s command queue to `shard` on its
+    /// home node (quiesce → drain → retarget, executed by the owning
+    /// lane). Returns `false` if the order was rejected up front — the
+    /// asid already sits on `shard`, the shard is out of range, or
+    /// either lane involved is condemned. A `true` return means the
+    /// order was mailed; completion is observable through
+    /// [`RtCluster::migrations_total`] / [`RtCluster::shard_of`].
+    pub fn migrate_asid(&self, asid: u32, shard: usize) -> bool {
+        issue_migration(&self.shared, asid, shard)
     }
 
     /// Injection counters of the installed fault plan, if any.
@@ -1167,6 +1540,20 @@ impl RtCluster {
         self.shared.obs_hub.snapshot(label)
     }
 
+    /// Like [`RtCluster::obs_snapshot`], but with each node's shard
+    /// scopes (`node{n}s{s}`) merged into one `node{n}` scope —
+    /// counters summed, histograms merged bucket-wise. At one shard per
+    /// node this is identical to `obs_snapshot`.
+    #[must_use]
+    pub fn obs_snapshot_by_node(&self, label: &str) -> Snapshot {
+        self.shared.obs_hub.snapshot(label).merged_by(|name| {
+            match name.rfind('s') {
+                Some(i) if i > 0 && name.starts_with("node") => name[..i].to_string(),
+                _ => name.to_string(),
+            }
+        })
+    }
+
     /// A handle on the telemetry hub that outlives the cluster — take it
     /// before [`RtCluster::shutdown`] to snapshot or dump traces *after*
     /// shutdown, when every proxy has exited and the cross-node counter
@@ -1182,10 +1569,16 @@ impl RtCluster {
         self.shared.obs_hub.trace_dump()
     }
 
-    /// Surviving flight-recorder events for one node.
+    /// Surviving flight-recorder events for one node (all of its shard
+    /// lanes, merged in timestamp order).
     #[must_use]
     pub fn flight_events(&self, node: usize) -> Vec<TraceEvent> {
-        self.shared.obs[node].events()
+        let mut out: Vec<TraceEvent> = self
+            .lanes_of(node)
+            .flat_map(|l| self.shared.obs[l].events())
+            .collect();
+        out.sort_by_key(|e| e.t_ns);
+        out
     }
 
     /// Render every node's flight recorder as a Chrome `trace_event`
@@ -1230,7 +1623,7 @@ impl RtCluster {
             restarts: self.shared.restarts_total.load(Ordering::Relaxed),
             ..ShutdownReport::default()
         };
-        for (node, handle) in handles.into_iter().enumerate() {
+        for (lane, handle) in handles.into_iter().enumerate() {
             let Some(handle) = handle else { continue };
             loop {
                 if handle.is_finished() {
@@ -1241,18 +1634,22 @@ impl RtCluster {
                     // Wedged (e.g. stuck in foreign code): report it,
                     // condemn it so nobody waits on it, detach the
                     // handle rather than hanging the shutdown.
-                    report.wedged_nodes.push(node);
-                    condemn(&self.shared, node);
+                    let node = self.shared.lane_node(lane);
+                    if report.wedged_nodes.last() != Some(&node) {
+                        report.wedged_nodes.push(node);
+                    }
+                    condemn(&self.shared, lane);
                     break;
                 }
                 std::thread::sleep(Duration::from_micros(200));
             }
         }
-        for (node, p) in self.shared.panicked.iter().enumerate() {
+        for (lane, p) in self.shared.panicked.iter().enumerate() {
             if p.load(Ordering::Acquire) {
                 report.panicked_nodes.push(ProxyPanic {
-                    node,
-                    reason: self.shared.panic_reason(node),
+                    node: self.shared.lane_node(lane),
+                    shard: lane % self.shared.shards,
+                    reason: self.shared.panic_reason(lane),
                 });
             }
         }
@@ -1276,7 +1673,6 @@ pub struct Endpoint {
     me: Arc<ProcShared>,
     shared: Arc<Shared>,
     cmd: spsc::Producer,
-    ready: Arc<AtomicU64>,
     qbit: u32,
     next_alloc: u64,
     /// Decimation tick for the sampled `Enqueue` trace (see
@@ -1349,10 +1745,13 @@ impl Endpoint {
     }
 
     /// Bounded [`Endpoint::wait_flag`]: gives up after `timeout`, and
-    /// aborts immediately if a proxy has been condemned — the wait could
-    /// otherwise never complete. A proxy that merely died *under
-    /// supervision* does not abort the wait: its respawn may still
-    /// complete the operation within the timeout.
+    /// aborts early if a proxy has been condemned *and* the flag has
+    /// stopped advancing — the wait could otherwise never complete. The
+    /// progress grace matters on a sharded node: one condemned shard
+    /// lane must not abort waits that a live sibling lane is still
+    /// serving. A proxy that merely died *under supervision* does not
+    /// abort the wait either way: its respawn may still complete the
+    /// operation within the timeout.
     ///
     /// # Errors
     ///
@@ -1365,19 +1764,37 @@ impl Endpoint {
         target: u64,
         timeout: Duration,
     ) -> Result<(), RtError> {
+        /// How long a wait may sit without flag progress while some lane
+        /// is condemned before concluding it depends on the dead lane.
+        const CONDEMNED_GRACE: Duration = Duration::from_millis(250);
         let deadline = Instant::now() + timeout;
         let mut backoff = Backoff::new();
+        let mut grace: Option<(Instant, u64)> = None;
         loop {
             let observed = self.flag(f);
             if observed >= target {
                 return Ok(());
             }
-            if let Some(node) = self.shared.condemned_node() {
-                self.me.timeouts.fetch_add(1, Ordering::Relaxed);
-                return Err(RtError::ProxyDown {
-                    node,
-                    reason: self.shared.panic_reason(node),
-                });
+            if let Some(lane) = self.shared.condemned_lane() {
+                let now = Instant::now();
+                let stalled = match &mut grace {
+                    None => {
+                        grace = Some((now, observed));
+                        false
+                    }
+                    Some((since, seen)) if observed > *seen => {
+                        (*since, *seen) = (now, observed);
+                        false
+                    }
+                    Some((since, _)) => now.duration_since(*since) >= CONDEMNED_GRACE,
+                };
+                if stalled {
+                    self.me.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Err(RtError::ProxyDown {
+                        node: self.shared.lane_node(lane),
+                        reason: self.shared.panic_reason(lane),
+                    });
+                }
             }
             if Instant::now() >= deadline {
                 self.me.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -1400,7 +1817,12 @@ impl Endpoint {
     }
 
     fn submit(&mut self, mut e: Entry) {
-        let obs = &self.shared.obs[self.me.node];
+        // Route to the lane currently serving this asid's queue. The
+        // table read can race a migration — a bit flipped on the old
+        // lane's mask is forwarded by that lane's stray-bit scan, so a
+        // stale read costs one extra hop, never a lost wakeup.
+        let lane = self.shared.lane_of_asid(self.me.asid);
+        let obs = &self.shared.obs[lane];
         obs.inc(Ctr::OpsSubmitted);
         self.obs_tick = self.obs_tick.wrapping_add(1);
         if obs.recording() && self.obs_tick & OBS_SAMPLE_MASK == 0 {
@@ -1427,8 +1849,8 @@ impl Endpoint {
         // §4.1: flip the shared ready bit so the proxy's idle scan probes
         // one word instead of every queue head — then wake the proxy in
         // case it parked.
-        self.ready.fetch_or(1 << self.qbit, Ordering::Release);
-        self.shared.parkers[self.me.node].wake();
+        self.shared.ready_masks[lane].fetch_or(1 << self.qbit, Ordering::Release);
+        self.shared.parkers[lane].wake();
     }
 
     fn pack_sync(lsync: Option<FlagId>, rsync: Option<FlagId>) -> u64 {
@@ -1646,6 +2068,15 @@ fn send_data(
         sent_ns: shared.rel_ns(now),
         submit_ns,
     });
+    if shared.sharded() {
+        // Route pinning: another frame for this destination asid is now
+        // in flight on this stream (released by [`process_ack`]).
+        if let Some(a) = route_asid(&body) {
+            if let Some(e) = st.routes.get_mut(&a) {
+                e.1 += 1;
+            }
+        }
+    }
     let mut corrupt = false;
     let mut copies = 1;
     if let Some(faults) = &shared.faults {
@@ -1711,6 +2142,7 @@ fn process_ack(
         tx,
         ccbs,
         obs_tick,
+        routes,
         ..
     } = st;
     let tx = &mut tx[from];
@@ -1728,6 +2160,17 @@ fn process_ack(
         // Wire RTT: first transmission → the releasing cumulative ack.
         if sampled {
             obs.record(HistId::WireRttNs, now_ns.saturating_sub(r.sent_ns));
+        }
+        if shared.sharded() {
+            // Release the route pin taken in [`send_data`] — rejected
+            // frames release too; the op is gone either way.
+            if let Some(a) = route_asid(&r.body) {
+                if let Some(e) = routes.get_mut(&a) {
+                    if e.0 == from && e.1 > 0 {
+                        e.1 -= 1;
+                    }
+                }
+            }
         }
         if rejected.contains(&r.seq) {
             // Shed at the receiver: the op never happened. No lsync; a
@@ -2035,6 +2478,38 @@ fn flush_acks(shared: &Shared, st: &mut NodeState, node: usize) {
     }
 }
 
+/// The destination asid a request payload is routed by, if any.
+/// Replies are not routed — they return on the requester's stream.
+fn route_asid(body: &Payload) -> Option<u32> {
+    match body {
+        Payload::Put { dst, .. } | Payload::Enq { dst, .. } | Payload::GetReq { dst, .. } => {
+            Some(*dst)
+        }
+        Payload::GetReply { .. } => None,
+    }
+}
+
+/// Picks the destination lane for a request towards `dst`. Unsharded,
+/// that is simply the destination's node. Sharded, it is the lane the
+/// destination node's shard table names — *pinned* while this sender
+/// still has frames for `dst` in flight on a previous lane, so one
+/// sender's operations on one asid stay on one sequenced stream across
+/// a migration (adopting the new lane mid-stream would let the two
+/// streams race and reorder). The pin lifts as soon as `in_flight`
+/// drains to zero ([`process_ack`]).
+fn route_request(shared: &Shared, st: &mut NodeState, dst: u32) -> usize {
+    let node = shared.procs[dst as usize].node;
+    if !shared.sharded() {
+        return node;
+    }
+    let table_lane = shared.lane_of(node, shared.tables[node].slot(dst) as usize);
+    let e = st.routes.entry(dst).or_insert((table_lane, 0));
+    if e.1 == 0 {
+        e.0 = table_lane;
+    }
+    e.0
+}
+
 /// Decodes and executes one user command on node `node` (protection and
 /// bounds checks, then a sequenced transmission towards the destination).
 fn handle_command(
@@ -2062,13 +2537,13 @@ fn handle_command(
             }
             let data = src_proc.seg.read(laddr, nbytes as usize);
             let raddr = e.args[1];
-            let dst_node = shared.procs[dst as usize].node;
+            let dst_lane = route_request(shared, st, dst);
             send_data(
                 shared,
                 st,
                 node,
                 now,
-                dst_node,
+                dst_lane,
                 Payload::Put {
                     dst,
                     raddr,
@@ -2095,13 +2570,13 @@ fn handle_command(
                     lsync,
                 },
             );
-            let dst_node = shared.procs[dst as usize].node;
+            let dst_lane = route_request(shared, st, dst);
             send_data(
                 shared,
                 st,
                 node,
                 now,
-                dst_node,
+                dst_lane,
                 Payload::GetReq {
                     src_asid: src,
                     dst,
@@ -2124,13 +2599,13 @@ fn handle_command(
                 return;
             }
             let data = src_proc.seg.read(laddr, nbytes as usize);
-            let dst_node = shared.procs[dst as usize].node;
+            let dst_lane = route_request(shared, st, dst);
             send_data(
                 shared,
                 st,
                 node,
                 now,
-                dst_node,
+                dst_lane,
                 Payload::Enq {
                     dst,
                     rq,
@@ -2145,41 +2620,190 @@ fn handle_command(
     }
 }
 
-/// One incarnation of a node's proxy: takes the node's seat (command
+/// Mails a migration order for `asid` towards shard `shard` of its
+/// home node. Returns `false` when rejected up front: the cluster is
+/// unsharded, the shard is out of range, the move is a no-op, or either
+/// lane involved is condemned. Acceptance means the order reaches the
+/// owning lane's mailbox; the lane itself re-validates on intake.
+fn issue_migration(shared: &Shared, asid: u32, shard: usize) -> bool {
+    if !shared.sharded() || asid as usize >= shared.procs.len() || shard >= shared.shards {
+        return false;
+    }
+    let node = shared.procs[asid as usize].node;
+    let src_lane = shared.lane_of(node, shared.tables[node].slot(asid) as usize);
+    let dst_lane = shared.lane_of(node, shard);
+    if src_lane == dst_lane
+        || shared.condemned[src_lane].load(Ordering::Relaxed)
+        || shared.condemned[dst_lane].load(Ordering::Relaxed)
+    {
+        return false;
+    }
+    shared.migr_outstanding[node].fetch_add(1, Ordering::Relaxed);
+    shared.migr_orders[src_lane]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(MigrOrder { asid, dst_lane });
+    shared.migr_pending[src_lane].store(true, Ordering::Release);
+    shared.parkers[src_lane].wake();
+    true
+}
+
+/// The ready bits a seat's queues answer to.
+fn seat_mask(seat: &[SeatEntry]) -> u64 {
+    seat.iter().fold(0, |m, e| m | (1 << e.qbit))
+}
+
+/// The ready bits of queues quiesced by an in-progress handoff.
+fn quiesce_mask_of(st: &NodeState) -> u64 {
+    st.migr.iter().fold(0, |m, g| m | (1 << g.qbit))
+}
+
+/// Takes mailed migration orders and begins the quiesce for each
+/// accepted one: snapshot the per-destination send high-water marks;
+/// the handoff completes once every mark is acknowledged
+/// ([`progress_migrations`]). Invalid or stale orders are dropped.
+fn intake_migrations(shared: &Shared, st: &mut NodeState, lane: usize, seat: &[SeatEntry]) {
+    let orders: Vec<MigrOrder> = {
+        let mut g = shared.migr_orders[lane]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        shared.migr_pending[lane].store(false, Ordering::Release);
+        std::mem::take(&mut *g)
+    };
+    let node = shared.lane_node(lane);
+    for o in orders {
+        let entry = seat.iter().find(|e| e.asid == o.asid);
+        let valid = entry.is_some()
+            && o.dst_lane != lane
+            && o.dst_lane < shared.lanes()
+            && shared.lane_node(o.dst_lane) == node
+            && !shared.condemned[o.dst_lane].load(Ordering::Relaxed)
+            && st.migr.iter().all(|m| m.asid != o.asid);
+        if !valid {
+            shared.migr_outstanding[node].fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
+        let qbit = entry.expect("validated above").qbit;
+        // Quiesce begins here: the asid's queue is no longer drained by
+        // this lane, and everything it already contributed is bounded
+        // by these marks.
+        let marks = st.tx.iter().map(|t| t.next_seq.saturating_sub(1)).collect();
+        st.migr.push(Migration {
+            asid: o.asid,
+            qbit,
+            dst_lane: o.dst_lane,
+            marks,
+        });
+    }
+}
+
+/// Advances in-progress handoffs: aborts ones whose destination lane
+/// was condemned; completes ones whose drain finished (every mark
+/// acknowledged by a live peer) by moving the seat entry into the
+/// destination's inbox and flipping the shard-table slot. Returns true
+/// if the seat or the migration set changed.
+fn progress_migrations(
+    shared: &Shared,
+    st: &mut NodeState,
+    lane: usize,
+    seat: &mut Vec<SeatEntry>,
+    now: Instant,
+) -> bool {
+    let node = shared.lane_node(lane);
+    let mut changed = false;
+    let mut i = 0;
+    while i < st.migr.len() {
+        if shared.condemned[st.migr[i].dst_lane].load(Ordering::Relaxed) {
+            st.migr.swap_remove(i);
+            shared.migr_outstanding[node].fetch_sub(1, Ordering::Relaxed);
+            changed = true;
+            continue;
+        }
+        let drained = {
+            let m = &st.migr[i];
+            st.tx
+                .iter()
+                .zip(&m.marks)
+                .enumerate()
+                .all(|(d, (tx, &mark))| {
+                    tx.acked >= mark || shared.condemned[d].load(Ordering::Relaxed)
+                })
+        };
+        if !drained {
+            i += 1;
+            continue;
+        }
+        let m = st.migr.swap_remove(i);
+        changed = true;
+        let Some(pos) = seat.iter().position(|e| e.asid == m.asid) else {
+            // The entry left the seat since intake (stale state from a
+            // previous incarnation): nothing to hand over.
+            shared.migr_outstanding[node].fetch_sub(1, Ordering::Relaxed);
+            continue;
+        };
+        let entry = seat.swap_remove(pos);
+        // Retarget: inbox first, then the table flip (`Release`), so a
+        // submitter reading the new slot finds the consumer already in
+        // (or on its way into) the destination's hands.
+        shared.shard_inbox[m.dst_lane]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(entry);
+        shared.tables[node].set_slot(m.asid, (m.dst_lane % shared.shards) as u32);
+        shared.inbox_ready[m.dst_lane].store(true, Ordering::Release);
+        // Hand the ready bit over armed: commands may be pending.
+        shared.ready_masks[m.dst_lane].fetch_or(1 << m.qbit, Ordering::Release);
+        shared.parkers[m.dst_lane].wake();
+        shared.migr_outstanding[node].fetch_sub(1, Ordering::Relaxed);
+        shared.migrations_total.fetch_add(1, Ordering::Relaxed);
+        let obs = &shared.obs[lane];
+        obs.inc(Ctr::Migrations);
+        obs.trace_at(
+            shared.rel_ns(now),
+            EventKind::MigrateOut,
+            m.asid as u16,
+            m.dst_lane as u32,
+        );
+    }
+    changed
+}
+
+/// One incarnation of a lane's proxy: takes the lane's seat (command
 /// consumers) and protocol state, runs the service loop under
 /// `catch_unwind`, and on panic returns the seat, records the payload,
 /// and raises the panic bit — so a supervisor can respawn a successor
 /// that resumes from the exact same state.
-pub(crate) fn run_proxy(node: usize, shared: Arc<Shared>) {
-    let Some(mut seat) = shared.seats[node]
+pub(crate) fn run_proxy(lane: usize, shared: Arc<Shared>) {
+    let Some(mut seat) = shared.seats[lane]
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .take()
     else {
         return; // a racing incarnation holds the seat; let it serve
     };
-    let mut guard = shared.node_state[node]
+    let mut guard = shared.node_state[lane]
         .lock()
         .unwrap_or_else(|e| e.into_inner());
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        proxy_main(node, &mut seat, &mut guard, &shared);
+        proxy_main(lane, &mut seat, &mut guard, &shared);
     }));
     // The guard is dropped here, *outside* any unwinding — the node-state
     // mutex is never poisoned by a proxy death.
     drop(guard);
-    *shared.seats[node].lock().unwrap_or_else(|e| e.into_inner()) = Some(seat);
+    *shared.seats[lane].lock().unwrap_or_else(|e| e.into_inner()) = Some(seat);
     if let Err(payload) = result {
         let reason = payload
             .downcast_ref::<&str>()
             .map(|s| (*s).to_string())
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "<non-string panic payload>".to_string());
-        let obs = &shared.obs[node];
+        let obs = &shared.obs[lane];
         obs.inc(Ctr::Kills);
-        obs.trace(EventKind::Kill, node as u16, 0);
+        obs.trace(EventKind::Kill, lane as u16, 0);
         if std::env::var_os("MPROXY_OBS_DUMP_ON_PANIC").is_some() {
             eprintln!(
-                "mproxy-rt: node {node} flight recorder at death:\n{}",
+                "mproxy-rt: {} flight recorder at death:\n{}",
+                obs.name(),
                 obs.events()
                     .iter()
                     .map(|e| format!(
@@ -2193,40 +2817,48 @@ pub(crate) fn run_proxy(node: usize, shared: Arc<Shared>) {
                     .join("\n")
             );
         }
-        shared.deaths[node].fetch_add(1, Ordering::Relaxed);
-        *shared.panic_reasons[node]
+        shared.deaths[lane].fetch_add(1, Ordering::Relaxed);
+        *shared.panic_reasons[lane]
             .lock()
             .unwrap_or_else(|e| e.into_inner()) = Some(reason);
         if shared.supervision.is_none() || shared.stop.load(Ordering::Relaxed) {
-            // Nobody will respawn this node (no supervisor, or it is
+            // Nobody will respawn this lane (no supervisor, or it is
             // already shutting down): condemn so waits and drains abort.
-            condemn(&shared, node);
+            condemn(&shared, lane);
         }
         // Last: the panic bit is what the supervisor polls, and every
         // observer must already see the seat, the reason and (possibly)
         // the condemnation when it flips.
-        shared.panicked[node].store(true, Ordering::Release);
+        shared.panicked[lane].store(true, Ordering::Release);
     }
 }
 
 /// The proxy service loop: the Figure 5 loop over real queues and wires,
 /// plus the reliability layer (retention, acks, retransmission), the
-/// fault injector's time-domain hooks, and condemned-peer purging.
-fn proxy_main(
-    node: usize,
-    seat: &mut [(u32, spsc::Consumer)],
-    st: &mut NodeState,
-    shared: &Shared,
-) {
-    let parker = &shared.parkers[node];
+/// fault injector's time-domain hooks, condemned-peer purging, and —
+/// when sharded — handoff intake, drain tracking, and stray ready-bit
+/// forwarding.
+#[allow(clippy::too_many_lines)]
+fn proxy_main(lane: usize, seat: &mut Vec<SeatEntry>, st: &mut NodeState, shared: &Shared) {
+    let node = shared.lane_node(lane);
+    let parker = &shared.parkers[lane];
     parker.register();
-    let ready = &*shared.ready_masks[node];
-    let wire_rx = &shared.wires[node];
-    let health = &shared.health[node];
+    let ready = &*shared.ready_masks[lane];
+    let wire_rx = &shared.wires[lane];
+    let health = &shared.health[lane];
     let mut batch: Vec<Entry> = Vec::with_capacity(SERVICE_BURST);
     let mut backoff = Backoff::new();
     let mut legacy_idle_spins = 0u32;
     let mut stop_flush_tries = 0u32;
+    // Which of this node's ready bits the seat answers to, and which are
+    // frozen by an in-progress handoff. Both the seat and `st.migr`
+    // survive incarnations, so recompute on entry.
+    let mut owned_mask = seat_mask(seat);
+    let mut quiesce_mask = quiesce_mask_of(st);
+    // Bits actually assigned to queues on this node (the stop path
+    // re-arms all 64; unassigned ones must not be "forwarded").
+    let qbits = shared.node_qbits[node].len();
+    let valid_mask = if qbits >= 64 { u64::MAX } else { (1u64 << qbits) - 1 };
     loop {
         let now = Instant::now();
         // Injected time-domain faults: kills panic right here (the
@@ -2234,11 +2866,17 @@ fn proxy_main(
         // supervisor can see); stalls freeze the loop wholesale.
         if let Some(faults) = &shared.faults {
             if faults.has_timed_faults() {
-                let ops = shared.ops_serviced[node].load(Ordering::Relaxed);
-                if let Some(threshold) = faults.kill_due(node, ops) {
+                let ops = shared.ops_serviced[lane].load(Ordering::Relaxed);
+                if let Some(threshold) = faults.kill_due(lane, ops) {
+                    if shared.sharded() {
+                        panic!(
+                            "injected kill: node {node} shard {shard} after {threshold} ops",
+                            shard = lane % shared.shards
+                        );
+                    }
                     panic!("injected kill: node {node} after {threshold} ops");
                 }
-                if let Some(order) = faults.stall_due(node, now.duration_since(shared.started)) {
+                if let Some(order) = faults.stall_due(lane, now.duration_since(shared.started)) {
                     if order.interruptible {
                         let _ = crate::idle::sleep_unless(order.remaining, &shared.stop);
                     } else {
@@ -2253,32 +2891,36 @@ fn proxy_main(
         // Purge traffic towards condemned peers: their rings will never
         // drain and their acks will never come. Retained GETs cancel
         // their CCBs; lsyncs never fire (the op is lost, and bounded
-        // waits report it).
+        // waits report it). Route pins towards a dead lane are lifted so
+        // senders re-read the shard table.
         if shared.any_condemned.load(Ordering::Acquire) {
-            for dst in 0..shared.wires.len() {
-                if dst == node || !shared.condemned[dst].load(Ordering::Relaxed) {
+            for dst in 0..shared.lanes() {
+                if dst == lane || !shared.condemned[dst].load(Ordering::Relaxed) {
                     continue;
                 }
                 st.pending_wire[dst].clear();
-                let NodeState { tx, ccbs, .. } = &mut *st;
+                let NodeState {
+                    tx, ccbs, routes, ..
+                } = &mut *st;
                 for r in tx[dst].retained.drain(..) {
                     if let Payload::GetReq { token, .. } = r.body {
                         ccbs.remove(&token);
                     }
                 }
                 tx[dst].nack_hint = false;
+                routes.retain(|_, e| e.0 != dst);
             }
         }
         // A fresh incarnation owes its peers a Hello (and owes itself a
         // retransmission pass — peers may have acked frames the wire
-        // lost while the node was down).
+        // lost while the lane was down).
         if st.hello_pending {
             st.hello_pending = false;
             let epoch = st.epoch;
-            let obs = &shared.obs[node];
-            obs.trace_at(shared.rel_ns(now), EventKind::Hello, node as u16, epoch as u32);
-            for dst in 0..shared.wires.len() {
-                if dst == node {
+            let obs = &shared.obs[lane];
+            obs.trace_at(shared.rel_ns(now), EventKind::Hello, lane as u16, epoch as u32);
+            for dst in 0..shared.lanes() {
+                if dst == lane {
                     continue;
                 }
                 st.tx[dst].nack_hint = true;
@@ -2290,8 +2932,45 @@ fn proxy_main(
                     shared,
                     &mut st.pending_wire[dst],
                     dst,
-                    WireMsg::Hello { from: node, epoch },
+                    WireMsg::Hello { from: lane, epoch },
                 );
+            }
+        }
+        // Shard bookkeeping: adopt queues handed over by a sibling,
+        // then accept mailed orders and advance in-progress handoffs.
+        if shared.sharded() {
+            if shared.inbox_ready[lane].load(Ordering::Acquire) {
+                let incoming: Vec<SeatEntry> = {
+                    let mut g = shared.shard_inbox[lane]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    shared.inbox_ready[lane].store(false, Ordering::Release);
+                    std::mem::take(&mut *g)
+                };
+                if !incoming.is_empty() {
+                    let obs = &shared.obs[lane];
+                    for e in incoming {
+                        obs.trace_at(
+                            shared.rel_ns(now),
+                            EventKind::MigrateIn,
+                            e.asid as u16,
+                            e.qbit,
+                        );
+                        ready.fetch_or(1 << e.qbit, Ordering::Release);
+                        seat.push(e);
+                    }
+                    owned_mask = seat_mask(seat);
+                }
+            }
+            if !shared.stop.load(Ordering::Relaxed) {
+                if shared.migr_pending[lane].load(Ordering::Acquire) {
+                    intake_migrations(shared, st, lane, seat);
+                    quiesce_mask = quiesce_mask_of(st);
+                }
+                if !st.migr.is_empty() && progress_migrations(shared, st, lane, seat, now) {
+                    owned_mask = seat_mask(seat);
+                    quiesce_mask = quiesce_mask_of(st);
+                }
             }
         }
         let mut progressed = false;
@@ -2300,39 +2979,69 @@ fn proxy_main(
         // User command queues: consult the ready-bit vector, then drain a
         // burst per queue. While the outbound stash is deep the drain
         // pauses (bits stay set), so the bounded command rings
-        // backpressure users and per-node occupancy stays bounded.
+        // backpressure users and per-lane occupancy stays bounded.
         if st.backlogged() < PENDING_CAP {
             let mask = ready.swap(0, Ordering::Acquire);
             if mask != 0 {
-                for (qi, (src, q)) in seat.iter_mut().enumerate() {
-                    if mask & (1 << qi) == 0 {
-                        continue;
-                    }
-                    let taken = q.pop_burst(&mut batch, SERVICE_BURST);
-                    let src = *src;
-                    let obs = &shared.obs[node];
-                    let drain_ns = shared.rel_ns(now);
-                    for e in batch.drain(..) {
-                        // Command-queue wait: submit stamp → this drain.
-                        // `t_ns == 0` means the entry was unstamped
-                        // (recording off at submit time).
-                        if e.t_ns != 0 {
-                            obs.record(HistId::CmdWaitNs, drain_ns.saturating_sub(e.t_ns));
+                // Bits for queues this lane does not own (a submitter
+                // raced a migration, or a handoff arrived with its bit
+                // already set): forward each to the serving lane.
+                let strays = mask & !owned_mask & valid_mask;
+                if strays != 0 && shared.sharded() {
+                    for (qb, &asid) in shared.node_qbits[node].iter().enumerate() {
+                        if strays & (1 << qb) == 0 {
+                            continue;
                         }
-                        handle_command(shared, st, node, now, src, e);
-                    }
-                    if taken > 0 {
-                        st.obs_tick = st.obs_tick.wrapping_add(1);
-                        if st.obs_tick & OBS_SAMPLE_MASK == 0 {
-                            obs.trace_at(drain_ns, EventKind::Drain, src as u16, taken as u32);
+                        let tgt = shared.lane_of_asid(asid);
+                        if tgt == lane {
+                            // Mid-handoff towards us: the seat entry is
+                            // still in flight; re-arm, resolve next pass.
+                            ready.fetch_or(1 << qb, Ordering::Release);
+                        } else {
+                            shared.ready_masks[tgt].fetch_or(1 << qb, Ordering::Release);
+                            shared.parkers[tgt].wake();
                         }
-                        shared.ops_serviced[node].fetch_add(taken as u64, Ordering::Relaxed);
-                        progressed = true;
                     }
-                    if q.is_ready() {
-                        // Entries remain past the burst; re-arm the bit so
-                        // the next scan comes back.
-                        ready.fetch_or(1 << qi, Ordering::Release);
+                }
+                let mut m = mask & owned_mask;
+                if quiesce_mask != 0 {
+                    // Quiesced queues wait out the handoff; keep their
+                    // bits armed for the next owner.
+                    ready.fetch_or(m & quiesce_mask, Ordering::Release);
+                    m &= !quiesce_mask;
+                }
+                if m != 0 {
+                    for e in seat.iter_mut() {
+                        let bit = 1u64 << e.qbit;
+                        if m & bit == 0 {
+                            continue;
+                        }
+                        let taken = e.q.pop_burst(&mut batch, SERVICE_BURST);
+                        let src = e.asid;
+                        let obs = &shared.obs[lane];
+                        let drain_ns = shared.rel_ns(now);
+                        for entry in batch.drain(..) {
+                            // Command-queue wait: submit stamp → this
+                            // drain. `t_ns == 0` means the entry was
+                            // unstamped (recording off at submit time).
+                            if entry.t_ns != 0 {
+                                obs.record(HistId::CmdWaitNs, drain_ns.saturating_sub(entry.t_ns));
+                            }
+                            handle_command(shared, st, lane, now, src, entry);
+                        }
+                        if taken > 0 {
+                            st.obs_tick = st.obs_tick.wrapping_add(1);
+                            if st.obs_tick & OBS_SAMPLE_MASK == 0 {
+                                obs.trace_at(drain_ns, EventKind::Drain, src as u16, taken as u32);
+                            }
+                            shared.ops_serviced[lane].fetch_add(taken as u64, Ordering::Relaxed);
+                            progressed = true;
+                        }
+                        if e.q.is_ready() {
+                            // Entries remain past the burst; re-arm the
+                            // bit so the next scan comes back.
+                            ready.fetch_or(bit, Ordering::Release);
+                        }
                     }
                 }
             }
@@ -2346,7 +3055,7 @@ fn proxy_main(
         if shared.shed_enabled.load(Ordering::Relaxed) && health.saturated.load(Ordering::Acquire)
         {
             let mut rejected = 0u64;
-            let obs = &shared.obs[node];
+            let obs = &shared.obs[lane];
             while wire_rx.len() > SHED_BACKLOG {
                 let Some(msg) = wire_rx.pop() else { break };
                 match msg {
@@ -2379,8 +3088,8 @@ fn proxy_main(
                         }
                     }
                     other => {
-                        handle_packet(shared, st, node, now, other);
-                        shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
+                        handle_packet(shared, st, lane, now, other);
+                        shared.ops_serviced[lane].fetch_add(1, Ordering::Relaxed);
                         progressed = true;
                     }
                 }
@@ -2397,8 +3106,8 @@ fn proxy_main(
         let mut burst = 0;
         while burst < SERVICE_BURST {
             let Some(msg) = wire_rx.pop() else { break };
-            handle_packet(shared, st, node, now, msg);
-            shared.ops_serviced[node].fetch_add(1, Ordering::Relaxed);
+            handle_packet(shared, st, lane, now, msg);
+            shared.ops_serviced[lane].fetch_add(1, Ordering::Relaxed);
             progressed = true;
             burst += 1;
         }
@@ -2406,8 +3115,8 @@ fn proxy_main(
         // acks and nacks this pass accumulated. Neither counts as
         // progress — an idle-but-unacked sender must still reach the
         // park below (its 1 ms timeout doubles as the retransmit clock).
-        retransmit(shared, st, node, now);
-        flush_acks(shared, st, node);
+        retransmit(shared, st, lane, now);
+        flush_acks(shared, st, lane);
         if progressed {
             // Busy time feeds the watchdog's utilisation samples; idle
             // polling scans are charged to nobody, exactly like the
@@ -2422,8 +3131,29 @@ fn proxy_main(
             continue;
         }
         if shared.stop.load(Ordering::Relaxed) {
+            // Abort handoffs in flight — nothing will complete them now;
+            // the queues stay (and drain) where they are.
+            if shared.sharded() {
+                let aborted = {
+                    let mut g = shared.migr_orders[lane]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    shared.migr_pending[lane].store(false, Ordering::Release);
+                    g.drain(..).count() + st.migr.drain(..).count()
+                };
+                if aborted > 0 {
+                    shared.migr_outstanding[node].fetch_sub(aborted as u64, Ordering::Relaxed);
+                    quiesce_mask = 0;
+                }
+                // A sibling may have completed a handoff towards us just
+                // now: adopt it (at the loop top) before deciding we are
+                // drained.
+                if shared.inbox_ready[lane].load(Ordering::Acquire) {
+                    continue;
+                }
+            }
             // Final drain pass (ready bits may have raced with stop).
-            let drained = seat.iter_mut().all(|(_, q)| !q.is_ready());
+            let drained = seat.iter_mut().all(|e| !e.q.is_ready());
             if drained && wire_rx.is_empty() {
                 // Exit only once nothing is owed: no stashed output, and
                 // no unacknowledged frames towards live peers (their
@@ -2485,15 +3215,24 @@ fn proxy_main(
     }
 }
 
-/// The overload watchdog: every `interval` it turns each proxy's busy-time
-/// delta into a utilisation sample and applies the paper's §5.4 stability
-/// rule — a proxy above [`STABLE_UTILIZATION`] has unbounded expected
-/// queueing delay, so it is flagged saturated (with a one-time warning per
-/// node) until the load falls back under [`RECOVERY_UTILIZATION`].
+/// The overload watchdog: every `interval` it turns each proxy lane's
+/// busy-time delta into a utilisation sample and applies the paper's
+/// §5.4 stability rule *per lane* — a proxy above [`STABLE_UTILIZATION`]
+/// has unbounded expected queueing delay, so it is flagged saturated
+/// (with a one-time warning per lane) until the load falls back under
+/// [`RECOVERY_UTILIZATION`]. The node-level view takes the max over
+/// lanes ([`RtCluster::utilization`]): the bound binds per proxy
+/// thread, and averaging would hide a hot shard behind idle siblings.
+/// With elastic scaling enabled, the same samples drive the shard
+/// controller ([`elastic_tick`]).
 fn watchdog_main(shared: &Shared, interval: Duration) {
-    let nodes = shared.health.len();
-    let mut prev_busy = vec![0u64; nodes];
-    let mut warned = vec![false; nodes];
+    let lanes = shared.lanes();
+    let mut prev_busy = vec![0u64; lanes];
+    let mut warned = vec![false; lanes];
+    let mut utils = vec![0f64; lanes];
+    let nodes = shared.tables.len();
+    let mut cooldown = vec![0u32; nodes];
+    let mut idle_ticks = vec![0u32; nodes];
     let mut prev_t = Instant::now();
     while crate::idle::sleep_unless(interval, &shared.stop) {
         let now = Instant::now();
@@ -2502,13 +3241,14 @@ fn watchdog_main(shared: &Shared, interval: Duration) {
             continue;
         }
         prev_t = now;
-        for (node, h) in shared.health.iter().enumerate() {
+        for (lane, h) in shared.health.iter().enumerate() {
             let busy = h.busy_ns.load(Ordering::Relaxed);
-            let delta = busy.saturating_sub(prev_busy[node]);
-            prev_busy[node] = busy;
+            let delta = busy.saturating_sub(prev_busy[lane]);
+            prev_busy[lane] = busy;
             let util = (u128::from(delta) as f64 / wall_ns as f64).min(1.0);
+            utils[lane] = util;
             h.util_bits.store(util.to_bits(), Ordering::Relaxed);
-            let obs = &shared.obs[node];
+            let obs = &shared.obs[lane];
             // Busy fraction as permille, one sample per watchdog tick.
             obs.record(HistId::BusyPermille, (util * 1000.0) as u64);
             // Two overload signals. Utilisation is the paper's §5.4 rule,
@@ -2517,29 +3257,123 @@ fn watchdog_main(shared: &Shared, interval: Duration) {
             // its input queue grows without bound. Backlog is the
             // space-domain symptom of the same instability and is immune
             // to scheduler noise, so either one trips the flag.
-            let backlog = shared.wires[node].len();
+            let backlog = shared.wires[lane].len();
             let was = h.saturated.load(Ordering::Acquire);
             if !was && (util > STABLE_UTILIZATION || backlog > SHED_BACKLOG) {
                 h.saturation_events.fetch_add(1, Ordering::Relaxed);
                 obs.inc(Ctr::SaturationEvents);
-                obs.trace(EventKind::SatEnter, node as u16, backlog as u32);
+                obs.trace(EventKind::SatEnter, lane as u16, backlog as u32);
                 h.saturated.store(true, Ordering::Release);
                 // A shedding proxy may be parked with its wire already
                 // over the cap; make sure it sees the flag.
-                shared.parkers[node].wake();
-                if !warned[node] {
-                    warned[node] = true;
+                shared.parkers[lane].wake();
+                if !warned[lane] {
+                    warned[lane] = true;
+                    let who = if shared.sharded() {
+                        format!(
+                            "node {} shard {} proxy",
+                            shared.lane_node(lane),
+                            lane % shared.shards
+                        )
+                    } else {
+                        format!("node {lane} proxy")
+                    };
                     eprintln!(
-                        "mproxy-rt: node {node} proxy overloaded ({:.0}% utilisation, \
+                        "mproxy-rt: {who} overloaded ({:.0}% utilisation, \
                          {backlog} queued) — past the 50% stability bound, queueing \
                          delay is now unbounded",
                         util * 100.0
                     );
                 }
             } else if was && util < RECOVERY_UTILIZATION && backlog < SHED_BACKLOG / 2 {
-                obs.trace(EventKind::SatExit, node as u16, backlog as u32);
+                obs.trace(EventKind::SatExit, lane as u16, backlog as u32);
                 h.saturated.store(false, Ordering::Release);
             }
         }
+        if let Some(range) = shared.elastic {
+            elastic_tick(shared, range, &utils, &mut cooldown, &mut idle_ticks);
+        }
     }
+}
+
+/// One elastic-controller decision pass, piggybacked on the watchdog
+/// tick. Per node: grow by one shard when any active lane is saturated
+/// (§5.4 — a single overloaded proxy already has unbounded delay);
+/// shrink by one when *every* active lane has sat under
+/// [`RECOVERY_UTILIZATION`] for [`SHRINK_IDLE_TICKS`] consecutive
+/// ticks. Decisions wait out [`SCALE_COOLDOWN_TICKS`] after each scale
+/// and defer entirely while any migration is outstanding, so the
+/// controller never chases its own transients.
+fn elastic_tick(
+    shared: &Shared,
+    range: ElasticRange,
+    utils: &[f64],
+    cooldown: &mut [u32],
+    idle_ticks: &mut [u32],
+) {
+    for node in 0..shared.tables.len() {
+        if cooldown[node] > 0 {
+            cooldown[node] -= 1;
+        }
+        if shared.migr_outstanding[node].load(Ordering::Relaxed) > 0 {
+            continue;
+        }
+        let active = shared.tables[node].active();
+        let any_sat = (0..active as usize).any(|s| {
+            shared.health[shared.lane_of(node, s)]
+                .saturated
+                .load(Ordering::Acquire)
+        });
+        if any_sat {
+            idle_ticks[node] = 0;
+            if active < range.max && cooldown[node] == 0 && rebalance(shared, node, active + 1)
+            {
+                cooldown[node] = SCALE_COOLDOWN_TICKS;
+                let obs = &shared.obs[shared.lane_of(node, 0)];
+                obs.inc(Ctr::ShardGrows);
+                obs.trace(EventKind::ShardScale, node as u16, active + 1);
+            }
+            continue;
+        }
+        let all_idle =
+            (0..active as usize).all(|s| utils[shared.lane_of(node, s)] < RECOVERY_UTILIZATION);
+        if !all_idle || active <= range.min {
+            idle_ticks[node] = 0;
+            continue;
+        }
+        idle_ticks[node] += 1;
+        if idle_ticks[node] >= SHRINK_IDLE_TICKS
+            && cooldown[node] == 0
+            && rebalance(shared, node, active - 1)
+        {
+            idle_ticks[node] = 0;
+            cooldown[node] = SCALE_COOLDOWN_TICKS;
+            let obs = &shared.obs[shared.lane_of(node, 0)];
+            obs.inc(Ctr::ShardShrinks);
+            obs.trace(EventKind::ShardScale, node as u16, active - 1);
+        }
+    }
+}
+
+/// Re-partitions `node`'s asids over `new_active` shards with the jump
+/// consistent hash (minimal movement: only keys whose bucket changes
+/// migrate) and flips the active count. Returns false — changing
+/// nothing — if any target lane is condemned.
+fn rebalance(shared: &Shared, node: usize, new_active: u32) -> bool {
+    for s in 0..new_active as usize {
+        if shared.condemned[shared.lane_of(node, s)].load(Ordering::Relaxed) {
+            return false;
+        }
+    }
+    shared.tables[node].set_active(new_active);
+    for asid in 0..shared.procs.len() as u32 {
+        if shared.procs[asid as usize].node != node {
+            continue;
+        }
+        let want = jump_hash(u64::from(asid), new_active);
+        if want != shared.tables[node].slot(asid) {
+            let _ = issue_migration(shared, asid, want as usize);
+        }
+    }
+    true
 }

@@ -41,7 +41,15 @@
 //!   protocol state, under a restart budget with exponential backoff;
 //!   crash-looping nodes are *condemned* and reported through
 //!   [`RtError::ProxyDown`] and the deadline-bounded
-//!   [`RtCluster::shutdown`]'s [`ShutdownReport`].
+//!   [`RtCluster::shutdown`]'s [`ShutdownReport`];
+//! * **multi-proxy sharding** ([`RtClusterBuilder::shards`]): each
+//!   node's command-queue service partitioned over up to [`MAX_SHARDS`]
+//!   proxy shard threads by a per-node shard table, with optional
+//!   **elastic scaling** ([`RtClusterBuilder::elastic_shards`]) that
+//!   grows and shrinks the active shard count off the watchdog's §5.4
+//!   busy-fraction signal, migrating queues between shards with a
+//!   quiesce → drain → retarget handoff that preserves the exactly-once
+//!   contract.
 //!
 //! # Examples
 //!
@@ -78,7 +86,8 @@ mod supervisor;
 
 pub use cluster::{
     Endpoint, FlagId, ProxyPanic, RqId, RtCluster, RtClusterBuilder, RtError, ShutdownReport,
-    CMDQ_DEPTH, NUM_FLAGS, NUM_QUEUES, RECOVERY_UTILIZATION, RQ_DEPTH, SHED_BACKLOG, WIRE_DEPTH,
+    CMDQ_DEPTH, MAX_SHARDS, NUM_FLAGS, NUM_QUEUES, RECOVERY_UTILIZATION, RQ_DEPTH, SHED_BACKLOG,
+    WIRE_DEPTH,
 };
 pub use fault::{RtFaultCounts, RtFaultPlan, RtKill, RtStall};
 pub use mem::Segment;

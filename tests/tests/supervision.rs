@@ -229,6 +229,232 @@ fn lossy_wire_still_delivers_exactly_once() {
     assert!(report.clean(), "{report:?}");
 }
 
+/// Polls until `asid` sits on `shard` or the [`WAIT`] deadline passes.
+fn await_shard(cluster: &mproxy_rt::RtCluster, asid: u32, shard: usize) {
+    let deadline = std::time::Instant::now() + WAIT;
+    while cluster.shard_of(asid) != shard {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "asid {asid} never reached shard {shard}"
+        );
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn shard_kill_sibling_shard_stays_live() {
+    // Node 1 runs two proxy shards, one sink user on each. Shard 0 is
+    // killed with no supervision — its lane is condemned — but the
+    // sibling shard must keep serving its user as if nothing happened.
+    let mut b = RtClusterBuilder::new(2);
+    b.shards(2);
+    let p0 = b.add_process(0, 1 << 16);
+    let pa = b.add_process(1, 1 << 16);
+    let pb = b.add_process(1, 1 << 16);
+    b.fault_plan(RtFaultPlan::new(9).kill_shard(1, 0, 10));
+    let (cluster, mut eps) = b.start();
+    let _eb = eps.pop().unwrap();
+    let _ea = eps.pop().unwrap();
+    let mut e0 = eps.pop().unwrap();
+    assert_eq!(e0.asid(), p0);
+
+    // Pin the victim user to shard 0 and the survivor to shard 1.
+    for (target, asid) in [(0, pa), (1, pb)] {
+        if cluster.shard_of(asid) != target {
+            assert!(cluster.migrate_asid(asid, target));
+            await_shard(&cluster, asid, target);
+        }
+    }
+
+    // Flood the victim until its shard dies under the op-count trigger.
+    let mut saw_down = None;
+    for i in 1..=200u64 {
+        e0.seg().write_u64(0, i);
+        e0.put(0, pa, 64, 8, Some(FlagId(0)), None);
+        match e0.wait_flag_timeout(FlagId(0), i, WAIT) {
+            Ok(()) => {}
+            Err(err) => {
+                saw_down = Some(err);
+                break;
+            }
+        }
+    }
+    match saw_down.expect("puts at the killed shard must eventually fail") {
+        RtError::ProxyDown { node, reason } => {
+            assert_eq!(node, 1);
+            let r = reason.as_deref().expect("panic payload captured");
+            assert!(r.contains("injected kill") && r.contains("shard 0"), "{r}");
+        }
+        other => panic!("expected ProxyDown, got {other:?}"),
+    }
+
+    // Sibling liveness: the surviving shard keeps acknowledging.
+    for i in 1..=30u64 {
+        e0.seg().write_u64(0, i);
+        e0.put(0, pb, 64, 8, Some(FlagId(1)), None);
+        e0.wait_flag_timeout(FlagId(1), i, WAIT)
+            .expect("sibling shard must stay live after the kill");
+    }
+
+    assert_eq!(cluster.condemned_nodes(), vec![1]);
+    let report = cluster.shutdown();
+    assert!(!report.clean());
+    assert_eq!(report.panicked_nodes.len(), 1);
+    assert_eq!(report.panicked_nodes[0].node, 1);
+    assert_eq!(report.panicked_nodes[0].shard, 0);
+}
+
+#[test]
+fn shard_kill_respawn_preserves_exactly_once() {
+    // Supervised variant: shard 0 of the sink node dies mid-stream and is
+    // respawned; every acknowledged enq must surface exactly once, in
+    // order, across the kill/respawn epoch.
+    let mut b = RtClusterBuilder::new(2);
+    b.shards(2);
+    let p0 = b.add_process(0, 1 << 16);
+    let p1 = b.add_process(1, 1 << 16);
+    b.fault_plan(RtFaultPlan::new(21).kill_shard(1, 0, 15).drop(0.05));
+    b.supervise(3, Duration::from_millis(1));
+    let (cluster, mut eps) = b.start();
+    let e1 = eps.pop().unwrap();
+    let mut e0 = eps.pop().unwrap();
+    assert_eq!(e0.asid(), p0);
+    if cluster.shard_of(p1) != 0 {
+        assert!(cluster.migrate_asid(p1, 0));
+        await_shard(&cluster, p1, 0);
+    }
+
+    let n = 150u64;
+    for i in 1..=n {
+        e0.seg().write_u64(0, i);
+        e0.enq(0, p1, RqId(0), 8, Some(FlagId(0)), None);
+        e0.wait_flag_timeout(FlagId(0), i, WAIT)
+            .expect("enq must be acknowledged across the shard respawn");
+    }
+    let mut got = Vec::new();
+    let deadline = std::time::Instant::now() + WAIT;
+    while got.len() < n as usize && std::time::Instant::now() < deadline {
+        if let Some(data) = e1.rq_try_recv(RqId(0)) {
+            got.push(u64::from_le_bytes(data[..8].try_into().unwrap()));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    assert!(e1.rq_try_recv(RqId(0)).is_none(), "no extra deliveries");
+    assert_eq!(got, (1..=n).collect::<Vec<_>>(), "in order, exactly once");
+    assert!(cluster.deaths(1) >= 1, "the shard kill must have fired");
+    assert!(cluster.restarts_total() >= 1);
+    assert_eq!(cluster.condemned_nodes(), Vec::<usize>::new());
+    let report = cluster.shutdown();
+    assert!(report.clean(), "{report:?}");
+}
+
+#[test]
+fn rebalance_mid_flood_no_loss_dup_reorder() {
+    // The satellite's deterministic seeded rebalance check: a hot asid is
+    // migrated between shards twice in the middle of a lossy acked-enq
+    // flood; the drained queue must be 1..=n, in order, exactly once.
+    let mut b = RtClusterBuilder::new(2);
+    b.shards(2);
+    let p0 = b.add_process(0, 1 << 16);
+    let p1 = b.add_process(1, 1 << 16);
+    b.fault_plan(RtFaultPlan::new(77).drop(0.05).duplicate(0.05));
+    let (cluster, mut eps) = b.start();
+    let e1 = eps.pop().unwrap();
+    let mut e0 = eps.pop().unwrap();
+    assert_eq!(e0.asid(), p0);
+
+    let n = 300u64;
+    for i in 1..=n {
+        if i == 100 || i == 200 {
+            // Fire the handoff and keep flooding through it.
+            cluster.migrate_asid(p1, 1 - cluster.shard_of(p1));
+        }
+        e0.seg().write_u64(0, i);
+        e0.enq(0, p1, RqId(0), 8, Some(FlagId(0)), None);
+        e0.wait_flag_timeout(FlagId(0), i, WAIT)
+            .expect("enq must be acknowledged across the handoff epoch");
+    }
+    let mut got = Vec::new();
+    let deadline = std::time::Instant::now() + WAIT;
+    while got.len() < n as usize && std::time::Instant::now() < deadline {
+        if let Some(data) = e1.rq_try_recv(RqId(0)) {
+            got.push(u64::from_le_bytes(data[..8].try_into().unwrap()));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    assert!(e1.rq_try_recv(RqId(0)).is_none(), "no extra deliveries");
+    assert_eq!(got, (1..=n).collect::<Vec<_>>(), "in order, exactly once");
+    assert!(
+        cluster.migrations_total() >= 1,
+        "at least one handoff must have completed"
+    );
+    let report = cluster.shutdown();
+    assert!(report.clean(), "{report:?}");
+}
+
+#[test]
+fn elastic_controller_grows_and_shrinks() {
+    // Elastic range [1,2]: the cluster starts with one active shard; a
+    // sustained two-sender flood saturates it past the §5.4 bound, so the
+    // controller must grow to two shards (migrating users onto the new
+    // lane); once the flood stops it must shrink back to one.
+    let mut b = RtClusterBuilder::new(3);
+    b.elastic_shards(1, 2);
+    // Five users on node 0: under the jump hash, asid 4 moves to shard 1
+    // when the active count grows to 2, so a grow must migrate it.
+    let users: Vec<u32> = (0..5).map(|_| b.add_process(0, 1 << 16)).collect();
+    let (pa, pb) = (users[0], users[4]);
+    let p1 = b.add_process(1, 1 << 16);
+    let p2 = b.add_process(2, 1 << 16);
+    let (cluster, mut eps) = b.start();
+    let e2 = eps.pop().unwrap();
+    let e1 = eps.pop().unwrap();
+    assert_eq!((e1.asid(), e2.asid()), (p1, p2));
+    assert_eq!(cluster.active_shards(0), 1, "elastic min is the start");
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mk = |mut e: mproxy_rt::Endpoint, dst: u32, stop: std::sync::Arc<std::sync::atomic::AtomicBool>| {
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                i += 1;
+                e.seg().write_u64(0, i);
+                e.put(0, dst, 64, 8, Some(FlagId(0)), None);
+                e.wait_flag_timeout(FlagId(0), i, WAIT).expect("flood ack");
+            }
+        })
+    };
+    let t1 = mk(e1, pa, stop.clone());
+    let t2 = mk(e2, pb, stop.clone());
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while cluster.active_shards(0) < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "controller never grew under saturation (util {:.2})",
+            cluster.utilization(0)
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    t1.join().unwrap();
+    t2.join().unwrap();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while cluster.active_shards(0) > 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "controller never shrank after the flood stopped"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(cluster.migrations_total() >= 1, "scaling implies handoffs");
+    let report = cluster.shutdown();
+    assert!(report.clean(), "{report:?}");
+}
+
 /// Seeded randomized kill/loss soak, scaled by `MPROXY_STRESS_ITERS`.
 /// Each iteration: 3 nodes in a ring, lossy wire, a kill on a random
 /// node partway through, supervision on — every acknowledged op must
